@@ -1,0 +1,75 @@
+// Figure 6: effect of chain length on set similarity search.
+//
+// Enron-like (long sets) and DBLP-like (short sets) synthetic corpora,
+// Jaccard thresholds 0.7 and 0.8, chain lengths 1..3 (m = 5 boxes as in the
+// paper's pkwise setting). l = 1 is exactly the pkwise baseline.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "datagen/token_sets.h"
+#include "setsim/pkwise.h"
+
+namespace {
+
+using namespace pigeonring;
+
+void RunPanel(const char* name, int avg_tokens, int num_records,
+              uint64_t seed) {
+  datagen::TokenSetConfig config;
+  config.num_records = bench::Scaled(num_records);
+  config.avg_tokens = avg_tokens;
+  config.universe_size = bench::Scaled(num_records);
+  config.duplicate_fraction = 0.35;
+  config.seed = seed;
+  std::printf("[%s] generating %d sets (avg %d tokens)...\n", name,
+              config.num_records, avg_tokens);
+  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
+
+  Rng rng(seed + 1);
+  std::vector<int> query_ids;
+  for (int i = 0; i < bench::Scaled(200); ++i) {
+    query_ids.push_back(
+        static_cast<int>(rng.NextBounded(collection.num_records())));
+  }
+
+  for (double tau : {0.8, 0.7}) {
+    setsim::PkwiseSearcher searcher(&collection, tau, /*num_boxes=*/5);
+    Table table(std::string(name) + ", Jaccard tau = " + Table::Num(tau, 2) +
+                    " (avg per query)",
+                {"chain length l", "candidates", "results",
+                 "cand. gen. time (ms)", "total time (ms)"});
+    for (int l = 1; l <= 3; ++l) {
+      bench::Avg candidates, results, filter_ms, total_ms;
+      for (int id : query_ids) {
+        setsim::SetSearchStats stats;
+        searcher.Search(collection.record(id), l, &stats);
+        candidates.Add(static_cast<double>(stats.candidates));
+        results.Add(static_cast<double>(stats.results));
+        filter_ms.Add(stats.filter_millis);
+        total_ms.Add(stats.total_millis);
+      }
+      table.AddRow({Table::Int(l), Table::Num(candidates.Mean(), 1),
+                    Table::Num(results.Mean(), 1),
+                    Table::Num(filter_ms.Mean(), 4),
+                    Table::Num(total_ms.Mean(), 4)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 6: effect of chain length, set similarity ==\n\n");
+  RunPanel("Enron-like", 142, 30000, 3003);
+  RunPanel("DBLP-like", 14, 100000, 4004);
+  std::printf(
+      "Paper shape check: candidates shrink with l; the paper's best\n"
+      "setting is l = 2 (l = 3 reaches the suffix box and stops paying).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 10: set similarity search comparison across Jaccard thresholds.
+//
+// Methods: AllPairs-style prefix filter (AdaptSearch stand-in), PartAlloc-
+// style partition filter, pkwise (l = 1), Ring (l = 2). Enron-like and
+// DBLP-like synthetic corpora, tau = 0.70..0.95.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "datagen/token_sets.h"
+#include "setsim/baselines.h"
+#include "setsim/pkwise.h"
+
+namespace {
+
+using namespace pigeonring;
+
+void RunPanel(const char* name, int avg_tokens, int num_records,
+              uint64_t seed) {
+  datagen::TokenSetConfig config;
+  config.num_records = bench::Scaled(num_records);
+  config.avg_tokens = avg_tokens;
+  config.universe_size = bench::Scaled(num_records);
+  config.duplicate_fraction = 0.35;
+  config.seed = seed;
+  std::printf("[%s] generating %d sets (avg %d tokens)...\n", name,
+              config.num_records, avg_tokens);
+  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
+
+  Rng rng(seed + 1);
+  std::vector<int> query_ids;
+  for (int i = 0; i < bench::Scaled(200); ++i) {
+    query_ids.push_back(
+        static_cast<int>(rng.NextBounded(collection.num_records())));
+  }
+
+  Table cand_table(std::string(name) + ": avg candidates per query",
+                   {"tau", "AdaptSearch", "PartAlloc", "pkwise", "Ring",
+                    "results"});
+  Table time_table(std::string(name) + ": avg search time (ms) per query",
+                   {"tau", "AdaptSearch", "PartAlloc", "pkwise", "Ring"});
+  for (double tau : {0.95, 0.9, 0.85, 0.8, 0.75, 0.7}) {
+    setsim::AllPairsSearcher allpairs(&collection, tau);
+    setsim::PartAllocSearcher partalloc(&collection, tau, 4);
+    setsim::PkwiseSearcher pkwise(&collection, tau, 5);
+    bench::Avg c[4], t[4], results;
+    for (int id : query_ids) {
+      const auto& q = collection.record(id);
+      setsim::SetSearchStats stats;
+      allpairs.Search(q, &stats);
+      c[0].Add(static_cast<double>(stats.candidates));
+      t[0].Add(stats.total_millis);
+      partalloc.Search(q, &stats);
+      c[1].Add(static_cast<double>(stats.candidates));
+      t[1].Add(stats.total_millis);
+      pkwise.Search(q, 1, &stats);
+      c[2].Add(static_cast<double>(stats.candidates));
+      t[2].Add(stats.total_millis);
+      pkwise.Search(q, 2, &stats);
+      c[3].Add(static_cast<double>(stats.candidates));
+      t[3].Add(stats.total_millis);
+      results.Add(static_cast<double>(stats.results));
+    }
+    cand_table.AddRow({Table::Num(tau, 2), Table::Num(c[0].Mean(), 1),
+                       Table::Num(c[1].Mean(), 1), Table::Num(c[2].Mean(), 1),
+                       Table::Num(c[3].Mean(), 1),
+                       Table::Num(results.Mean(), 1)});
+    time_table.AddRow({Table::Num(tau, 2), Table::Num(t[0].Mean(), 4),
+                       Table::Num(t[1].Mean(), 4), Table::Num(t[2].Mean(), 4),
+                       Table::Num(t[3].Mean(), 4)});
+  }
+  cand_table.Print();
+  std::printf("\n");
+  time_table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 10: comparison on set similarity search ==\n\n");
+  RunPanel("Enron-like", 142, 30000, 3003);
+  RunPanel("DBLP-like", 14, 100000, 4004);
+  std::printf(
+      "Paper shape check: PartAlloc has few candidates but a slow filter;\n"
+      "Ring trims pkwise's candidates at tiny cost and is the fastest\n"
+      "overall; the constraint loosens (more work) as tau decreases.\n");
+  return 0;
+}

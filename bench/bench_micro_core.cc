@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the kernels every search touches:
+// chain checks, popcount Hamming distance, overlap merge, banded edit
+// distance, subgraph isomorphism, and exact GED.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "core/principle.h"
+#include "datagen/graphs.h"
+#include "editdist/verify.h"
+#include "graphed/ged.h"
+#include "graphed/partition.h"
+#include "graphed/subiso.h"
+#include "setsim/record.h"
+
+namespace {
+
+using namespace pigeonring;
+
+void BM_PrefixViableChainExists(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int l = static_cast<int>(state.range(1));
+  Rng rng(1);
+  std::vector<std::vector<double>> rings(256, std::vector<double>(m));
+  for (auto& ring : rings) {
+    for (double& b : ring) b = static_cast<double>(rng.NextBounded(8));
+  }
+  const double n = 3.0 * m;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PrefixViableChainExists(rings[i++ & 255], n, l));
+  }
+}
+BENCHMARK(BM_PrefixViableChainExists)
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({16, 16})
+    ->Args({64, 8});
+
+void BM_HammingDistance(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(2);
+  BitVector a(d), b(d);
+  for (int i = 0; i < d; ++i) {
+    a.Set(i, rng.NextBernoulli(0.5));
+    b.Set(i, rng.NextBernoulli(0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.HammingDistance(b));
+  }
+}
+BENCHMARK(BM_HammingDistance)->Arg(256)->Arg(512);
+
+void BM_PartDistance(benchmark::State& state) {
+  Rng rng(3);
+  BitVector a(256), b(256);
+  for (int i = 0; i < 256; ++i) {
+    a.Set(i, rng.NextBernoulli(0.5));
+    b.Set(i, rng.NextBernoulli(0.5));
+  }
+  int part = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.PartDistance(b, part * 16, part * 16 + 16));
+    part = (part + 1) & 15;
+  }
+}
+BENCHMARK(BM_PartDistance);
+
+void BM_OverlapVerify(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  Rng rng(4);
+  setsim::RankedSet x, y;
+  for (int i = 0; i < 4 * size; ++i) {
+    if (rng.NextBernoulli(0.25)) x.push_back(i);
+    if (rng.NextBernoulli(0.25)) y.push_back(i);
+  }
+  const int required = size / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setsim::OverlapAtLeast(x, y, required));
+  }
+}
+BENCHMARK(BM_OverlapVerify)->Arg(14)->Arg(142);
+
+void BM_BandedEditDistance(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  const int tau = static_cast<int>(state.range(1));
+  Rng rng(5);
+  std::string a, b;
+  for (int i = 0; i < len; ++i) {
+    a.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+  }
+  b = a;
+  for (int e = 0; e < tau; ++e) {
+    b[rng.NextBounded(b.size())] =
+        static_cast<char>('a' + rng.NextBounded(26));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editdist::BandedEditDistance(a, b, tau));
+  }
+}
+BENCHMARK(BM_BandedEditDistance)->Args({16, 2})->Args({101, 8});
+
+void BM_ContentFilterMask(benchmark::State& state) {
+  std::string s = "thequickbrownfoxjumps";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editdist::AlphabetMask(s));
+  }
+}
+BENCHMARK(BM_ContentFilterMask);
+
+void BM_PartSubIso(benchmark::State& state) {
+  datagen::GraphConfig config;
+  config.num_graphs = 64;
+  config.avg_vertices = 12;
+  config.avg_edges = 13;
+  config.vertex_labels = 20;
+  config.seed = 6;
+  const auto graphs = datagen::GenerateGraphs(config);
+  std::vector<std::vector<graphed::Part>> parts;
+  for (const auto& g : graphs) {
+    parts.push_back(graphed::PartitionGraph(g, 4, 1));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = parts[i & 63];
+    const auto& q = graphs[(i + 1) & 63];
+    benchmark::DoNotOptimize(graphed::PartSubgraphIsomorphic(p[i & 3], q));
+    ++i;
+  }
+}
+BENCHMARK(BM_PartSubIso);
+
+void BM_GraphEditDistance(benchmark::State& state) {
+  const int tau = static_cast<int>(state.range(0));
+  datagen::GraphConfig config;
+  config.num_graphs = 32;
+  config.avg_vertices = 10;
+  config.avg_edges = 11;
+  config.vertex_labels = 20;
+  config.duplicate_fraction = 0.5;
+  config.max_perturb_ops = tau;
+  config.seed = 7;
+  const auto graphs = datagen::GenerateGraphs(config);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphed::GraphEditDistanceWithin(
+        graphs[i & 31], graphs[(i + 1) & 31], tau));
+    ++i;
+  }
+}
+BENCHMARK(BM_GraphEditDistance)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary prints one table per figure panel with the same series
+// the paper reports. Dataset sizes are laptop-scale; set the environment
+// variable PIGEONRING_BENCH_SCALE (e.g. 0.2 or 2.0) to shrink or grow every
+// dataset and query batch proportionally.
+
+#ifndef PIGEONRING_BENCH_BENCH_UTIL_H_
+#define PIGEONRING_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+
+namespace pigeonring::bench {
+
+/// Global size multiplier from PIGEONRING_BENCH_SCALE (default 1.0).
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("PIGEONRING_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+/// Applies the scale to a nominal count (minimum 1).
+inline int Scaled(int nominal) {
+  const int v = static_cast<int>(nominal * Scale());
+  return v < 1 ? 1 : v;
+}
+
+/// Accumulates per-query stats and reports averages.
+struct Avg {
+  double sum = 0;
+  int n = 0;
+  void Add(double v) {
+    sum += v;
+    ++n;
+  }
+  double Mean() const { return n == 0 ? 0 : sum / n; }
+};
+
+}  // namespace pigeonring::bench
+
+#endif  // PIGEONRING_BENCH_BENCH_UTIL_H_

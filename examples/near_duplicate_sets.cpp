@@ -1,0 +1,74 @@
+// Near-duplicate document detection with set similarity search: documents
+// tokenized into word sets, near-duplicates found by Jaccard threshold
+// queries (the Enron/DBLP scenario of §8.1).
+//
+// Compares all four methods of the paper's Figure 10 — the AllPairs-style
+// prefix filter (AdaptSearch stand-in), the PartAlloc-style partition
+// filter, the pkwise baseline, and the pigeonring upgrade (Ring) — on a
+// synthetic corpus.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "datagen/token_sets.h"
+#include "setsim/baselines.h"
+#include "setsim/pkwise.h"
+
+int main() {
+  using namespace pigeonring;
+
+  datagen::TokenSetConfig config;
+  config.num_records = 30000;
+  config.avg_tokens = 40;
+  config.universe_size = 40000;
+  config.duplicate_fraction = 0.35;
+  config.seed = 33;
+  std::printf("generating %d token sets...\n", config.num_records);
+  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
+
+  const double tau = 0.8;
+  setsim::PkwiseSearcher ring(&collection, tau, /*num_boxes=*/5);
+  setsim::AllPairsSearcher allpairs(&collection, tau);
+  setsim::PartAllocSearcher partalloc(&collection, tau, /*num_parts=*/4);
+
+  Rng rng(77);
+  std::vector<int> query_ids;
+  for (int i = 0; i < 100; ++i) {
+    query_ids.push_back(
+        static_cast<int>(rng.NextBounded(collection.num_records())));
+  }
+
+  Table table("Jaccard >= 0.8, 100 queries",
+              {"method", "avg candidates", "avg results", "avg filter (ms)",
+               "avg total (ms)"});
+  auto run = [&](const char* name, auto&& search_fn) {
+    double candidates = 0, results = 0, filter = 0, total = 0;
+    for (int id : query_ids) {
+      setsim::SetSearchStats stats;
+      search_fn(collection.record(id), &stats);
+      candidates += static_cast<double>(stats.candidates);
+      results += static_cast<double>(stats.results);
+      filter += stats.filter_millis;
+      total += stats.total_millis;
+    }
+    const double n = static_cast<double>(query_ids.size());
+    table.AddRow({std::string(name), Table::Num(candidates / n, 1),
+                  Table::Num(results / n, 1), Table::Num(filter / n, 3),
+                  Table::Num(total / n, 3)});
+  };
+  run("AllPairs (AdaptSearch)", [&](const auto& q, auto* s) {
+    allpairs.Search(q, s);
+  });
+  run("PartAlloc", [&](const auto& q, auto* s) { partalloc.Search(q, s); });
+  run("pkwise (l=1)", [&](const auto& q, auto* s) { ring.Search(q, 1, s); });
+  run("Ring (l=2)", [&](const auto& q, auto* s) { ring.Search(q, 2, s); });
+  table.Print();
+
+  std::printf(
+      "\nPartAlloc's small candidate set comes at a high filtering cost;\n"
+      "Ring keeps pkwise's cheap filter and trims its candidates (§8.3).\n");
+  return 0;
+}

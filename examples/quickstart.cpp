@@ -1,0 +1,73 @@
+// Quickstart: the pigeonring principle on the paper's running example
+// (Figure 1 / Examples 1-6), then a minimal Hamming distance search.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/principle.h"
+#include "datagen/binary_vectors.h"
+#include "hamming/search.h"
+
+namespace {
+
+void ShowLayout(const std::vector<double>& boxes, double n) {
+  using pigeonring::core::BasicViableChainExists;
+  using pigeonring::core::PigeonholeHolds;
+  using pigeonring::core::PrefixViableChainExists;
+  std::printf("  boxes = (");
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    std::printf("%s%.0f", i ? ", " : "", boxes[i]);
+  }
+  std::printf("), n = %.0f\n", n);
+  std::printf("    pigeonhole (Thm 1):        %s\n",
+              PigeonholeHolds(boxes, n) ? "pass" : "filtered");
+  for (int l = 2; l <= 3; ++l) {
+    std::printf("    pigeonring basic  l=%d:     %s\n", l,
+                BasicViableChainExists(boxes, n, l) ? "pass" : "filtered");
+    std::printf("    pigeonring strong l=%d:     %s\n", l,
+                PrefixViableChainExists(boxes, n, l) ? "pass" : "filtered");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== The pigeonring principle (paper Figure 1) ==\n");
+  std::printf(
+      "Both layouts total 8 > n = 5 items, yet both pass the classic\n"
+      "pigeonhole filter. The ring view filters them:\n\n");
+  ShowLayout({2, 1, 2, 2, 1}, 5);  // filtered by the basic form at l = 2
+  ShowLayout({2, 0, 3, 1, 2}, 5);  // needs the strong form at l = 2
+
+  std::printf("\n== Hamming distance search ==\n");
+  pigeonring::datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = 20000;
+  config.num_clusters = 400;
+  config.seed = 7;
+  auto objects = pigeonring::datagen::GenerateBinaryVectors(config);
+  pigeonring::hamming::HammingSearcher searcher(objects);
+
+  const auto query = objects[42];
+  const int tau = 24;
+  for (int l : {1, 4}) {
+    pigeonring::hamming::SearchStats stats;
+    const auto results = searcher.Search(query, tau, l,
+                                         pigeonring::hamming::AllocationMode::kCostModel,
+                                         &stats);
+    std::printf(
+        "tau=%d chain_length=%d: %lld candidates -> %zu results "
+        "(%.3f ms)\n",
+        tau, l, static_cast<long long>(stats.candidates), results.size(),
+        stats.total_millis);
+  }
+  std::printf(
+      "\nchain_length=1 is the pigeonhole baseline (GPH); longer chains\n"
+      "apply the pigeonring principle and shrink the candidate set while\n"
+      "returning exactly the same results.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "common/bitvector.h"
+
+namespace pigeonring {
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v(static_cast<int>(bits.size()));
+  for (int i = 0; i < static_cast<int>(bits.size()); ++i) {
+    PR_CHECK_MSG(bits[i] == '0' || bits[i] == '1',
+                 "invalid bit character '%c'", bits[i]);
+    if (bits[i] == '1') v.Set(i, true);
+  }
+  return v;
+}
+
+int BitVector::CountOnes() const {
+  int total = 0;
+  for (uint64_t w : words_) total += Popcount64(w);
+  return total;
+}
+
+int BitVector::HammingDistance(const BitVector& other) const {
+  PR_CHECK(dimensions_ == other.dimensions_);
+  int total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += Popcount64(words_[i] ^ other.words_[i]);
+  }
+  return total;
+}
+
+int BitVector::PartDistance(const BitVector& other, int begin, int end) const {
+  PR_CHECK(dimensions_ == other.dimensions_);
+  PR_CHECK(0 <= begin && begin <= end && end <= dimensions_);
+  if (begin == end) return 0;
+  const int first_word = begin >> 6;
+  const int last_word = (end - 1) >> 6;
+  int total = 0;
+  for (int w = first_word; w <= last_word; ++w) {
+    uint64_t diff = words_[w] ^ other.words_[w];
+    if (w == first_word) {
+      diff &= ~uint64_t{0} << (begin & 63);
+    }
+    if (w == last_word) {
+      const int end_bit = ((end - 1) & 63) + 1;  // bits used in last word
+      if (end_bit < 64) diff &= (uint64_t{1} << end_bit) - 1;
+    }
+    total += Popcount64(diff);
+  }
+  return total;
+}
+
+uint64_t BitVector::ExtractBits(int begin, int end) const {
+  PR_CHECK(0 <= begin && begin <= end && end <= dimensions_);
+  PR_CHECK_MSG(end - begin <= 64, "part too wide for ExtractBits: %d",
+               end - begin);
+  if (begin == end) return 0;
+  const int width = end - begin;
+  const int first_word = begin >> 6;
+  const int offset = begin & 63;
+  uint64_t value = words_[first_word] >> offset;
+  if (offset != 0 && first_word + 1 < static_cast<int>(words_.size())) {
+    value |= words_[first_word + 1] << (64 - offset);
+  }
+  if (width < 64) value &= (uint64_t{1} << width) - 1;
+  return value;
+}
+
+std::string BitVector::ToString() const {
+  std::string out(dimensions_, '0');
+  for (int i = 0; i < dimensions_; ++i) {
+    if (Get(i)) out[i] = '1';
+  }
+  return out;
+}
+
+}  // namespace pigeonring

@@ -1,0 +1,93 @@
+// Fixed-width binary vectors with popcount-based Hamming distance.
+//
+// BitVector is the object type for Hamming distance search (Problem 2 of the
+// paper) and the substrate for the content-based filter of string edit
+// distance search (§6.3). Bits are stored little-endian within 64-bit words;
+// bit i of the vector is bit (i % 64) of word (i / 64).
+
+#ifndef PIGEONRING_COMMON_BITVECTOR_H_
+#define PIGEONRING_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring {
+
+/// Returns the number of set bits in `x`.
+inline int Popcount64(uint64_t x) { return __builtin_popcountll(x); }
+
+/// A d-dimensional binary vector.
+class BitVector {
+ public:
+  /// Creates an all-zero vector of `dimensions` bits.
+  explicit BitVector(int dimensions)
+      : dimensions_(dimensions), words_((dimensions + 63) / 64, 0) {
+    PR_CHECK(dimensions >= 0);
+  }
+
+  BitVector() : BitVector(0) {}
+
+  /// Parses a vector from a string of '0'/'1' characters, most significant
+  /// dimension first is NOT assumed: character i maps to dimension i.
+  static BitVector FromString(const std::string& bits);
+
+  int dimensions() const { return dimensions_; }
+  int num_words() const { return static_cast<int>(words_.size()); }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Returns the value of dimension `i`.
+  bool Get(int i) const {
+    PR_CHECK(i >= 0 && i < dimensions_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets dimension `i` to `value`.
+  void Set(int i, bool value) {
+    PR_CHECK(i >= 0 && i < dimensions_);
+    if (value) {
+      words_[i >> 6] |= (uint64_t{1} << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+  }
+
+  /// Flips dimension `i`.
+  void Flip(int i) {
+    PR_CHECK(i >= 0 && i < dimensions_);
+    words_[i >> 6] ^= (uint64_t{1} << (i & 63));
+  }
+
+  /// Returns the number of set bits.
+  int CountOnes() const;
+
+  /// Returns the Hamming distance to `other`; both vectors must have the
+  /// same dimensionality.
+  int HammingDistance(const BitVector& other) const;
+
+  /// Returns the Hamming distance to `other` restricted to the dimension
+  /// range [begin, end). Used as the per-part box value b_i(x, q) of §6.1.
+  int PartDistance(const BitVector& other, int begin, int end) const;
+
+  /// Extracts dimensions [begin, end) (at most 64 of them) as an integer,
+  /// with dimension `begin` in the least significant bit. Used as the hash
+  /// key of a partition part.
+  uint64_t ExtractBits(int begin, int end) const;
+
+  /// Renders as a '0'/'1' string, dimension 0 first.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.dimensions_ == b.dimensions_ && a.words_ == b.words_;
+  }
+
+ private:
+  int dimensions_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pigeonring
+
+#endif  // PIGEONRING_COMMON_BITVECTOR_H_

@@ -1,0 +1,39 @@
+// Lightweight CHECK-style assertion macros.
+//
+// These are used for programmer errors (broken invariants, contract
+// violations), not for data-dependent failures; the latter are reported
+// through pigeonring::Status. A failed check prints the condition and
+// location and aborts.
+
+#ifndef PIGEONRING_COMMON_LOGGING_H_
+#define PIGEONRING_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process if `cond` is false. Always enabled (also in release
+// builds): the cost is negligible compared to the protected operations and
+// the diagnostics are worth it, following the "avoid surprising constructs"
+// guidance for database code.
+#define PR_CHECK(cond)                                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "PR_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                 \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+// Like PR_CHECK but with a printf-style message.
+#define PR_CHECK_MSG(cond, ...)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "PR_CHECK failed: %s at %s:%d: ", #cond,     \
+                   __FILE__, __LINE__);                                 \
+      std::fprintf(stderr, __VA_ARGS__);                                \
+      std::fprintf(stderr, "\n");                                       \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#endif  // PIGEONRING_COMMON_LOGGING_H_

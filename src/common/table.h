@@ -1,0 +1,44 @@
+// Plain-text table printer used by the figure-reproduction benchmarks.
+//
+// Each bench binary prints one table per paper figure/panel with the same
+// rows and series the paper reports (e.g. "avg. #candidates per query" and
+// "avg. search time (ms)" by chain length or by threshold).
+
+#ifndef PIGEONRING_COMMON_TABLE_H_
+#define PIGEONRING_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pigeonring {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  /// Creates a table titled `title` with the given column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (title, header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Num(double value, int digits = 3);
+
+  /// Formats an integer with no decoration.
+  static std::string Int(long long value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pigeonring
+
+#endif  // PIGEONRING_COMMON_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef PIGEONRING_COMMON_TIMER_H_
+#define PIGEONRING_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pigeonring {
+
+/// A restartable wall-clock stopwatch with millisecond reporting.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Returns the elapsed time since construction or the last Restart(), in
+  /// milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pigeonring
+
+#endif  // PIGEONRING_COMMON_TIMER_H_

@@ -1,0 +1,31 @@
+#include "core/advisor.h"
+
+#include "common/logging.h"
+
+namespace pigeonring::core {
+
+double EstimatedChainCost(const FilterAnalysis& analysis, int l,
+                          const ChainCostModel& costs) {
+  PR_CHECK(l >= 1);
+  const double entry_rate = analysis.PrCand(1);
+  const double candidate_rate = analysis.PrCand(l);
+  return (l - 1) * entry_rate * costs.box_check_cost +
+         candidate_rate * costs.verify_cost;
+}
+
+int SuggestChainLength(const FilterAnalysis& analysis, int max_l,
+                       const ChainCostModel& costs) {
+  PR_CHECK(max_l >= 1);
+  int best_l = 1;
+  double best_cost = EstimatedChainCost(analysis, 1, costs);
+  for (int l = 2; l <= max_l; ++l) {
+    const double cost = EstimatedChainCost(analysis, l, costs);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_l = l;
+    }
+  }
+  return best_l;
+}
+
+}  // namespace pigeonring::core

@@ -1,0 +1,182 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/principle.h"
+
+namespace pigeonring::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+DiscretePmf DiscretePmf::Binomial(int trials, double prob) {
+  PR_CHECK(trials >= 0 && prob >= 0.0 && prob <= 1.0);
+  DiscretePmf pmf;
+  pmf.p.assign(trials + 1, 0.0);
+  // Iterative Pascal-style construction in log space is unnecessary at the
+  // sizes used here (trials <= 64); direct recurrence is stable enough.
+  pmf.p[0] = std::pow(1.0 - prob, trials);
+  if (prob >= 1.0) {
+    pmf.p.assign(trials + 1, 0.0);
+    pmf.p[trials] = 1.0;
+    return pmf;
+  }
+  for (int k = 1; k <= trials; ++k) {
+    pmf.p[k] = pmf.p[k - 1] * (trials - k + 1) / k * prob / (1.0 - prob);
+  }
+  return pmf;
+}
+
+DiscretePmf DiscretePmf::UniformInt(int lo, int hi) {
+  PR_CHECK(0 <= lo && lo <= hi);
+  DiscretePmf pmf;
+  pmf.p.assign(hi + 1, 0.0);
+  const double w = 1.0 / (hi - lo + 1);
+  for (int k = lo; k <= hi; ++k) pmf.p[k] = w;
+  return pmf;
+}
+
+FilterAnalysis::FilterAnalysis(DiscretePmf pmf, int m, double tau)
+    : pmf_(std::move(pmf)), m_(m), tau_(tau) {
+  PR_CHECK(m_ > 0);
+  PR_CHECK(!pmf_.p.empty());
+}
+
+bool FilterAnalysis::Viable(double sum, int len) const {
+  return sum <= len * tau_ / m_ + kEps;
+}
+
+double FilterAnalysis::PrWord(int len) const {
+  PR_CHECK(len >= 1);
+  const int k_max = pmf_.max_value();
+  if (len == 1) {
+    double pr = 0;
+    for (int k = 0; k <= k_max; ++k) {
+      if (!Viable(k, 1)) pr += pmf_.p[k];
+    }
+    return pr;
+  }
+  // f[r][s]: probability that the first r boxes sum to s with every prefix
+  // viable. The word requires the (len-1)-prefix to be prefix-viable and the
+  // total over len boxes to be non-viable.
+  const int max_sum = k_max * (len - 1);
+  std::vector<double> f(max_sum + 1, 0.0);
+  for (int k = 0; k <= k_max; ++k) {
+    if (Viable(k, 1)) f[k] = pmf_.p[k];
+  }
+  for (int r = 2; r <= len - 1; ++r) {
+    std::vector<double> g(max_sum + 1, 0.0);
+    for (int s = 0; s <= k_max * (r - 1); ++s) {
+      if (f[s] == 0.0) continue;
+      for (int k = 0; k <= k_max; ++k) {
+        const int ns = s + k;
+        if (Viable(ns, r)) g[ns] += f[s] * pmf_.p[k];
+      }
+    }
+    f.swap(g);
+  }
+  double pr = 0;
+  for (int s = 0; s <= max_sum; ++s) {
+    if (f[s] == 0.0) continue;
+    for (int k = 0; k <= k_max; ++k) {
+      if (!Viable(s + k, len)) pr += f[s] * pmf_.p[k];
+    }
+  }
+  return pr;
+}
+
+std::vector<double> FilterAnalysis::TargetChainProbs(int l) const {
+  // M(x) in the paper: probability that a chain of length x is a
+  // concatenation of words from W (no prefix-viable subchain of length l,
+  // and suffix-non-viable as a whole).
+  std::vector<double> word(l + 1, 0.0);
+  for (int i = 1; i <= l; ++i) word[i] = PrWord(i);
+  std::vector<double> m_probs(m_ + 1, 0.0);
+  m_probs[0] = 1.0;
+  for (int x = 1; x <= m_; ++x) {
+    double v = 0;
+    for (int i = 1; i <= std::min(x, l); ++i) {
+      v += m_probs[x - i] * word[i];
+    }
+    m_probs[x] = v;
+  }
+  return m_probs;
+}
+
+double FilterAnalysis::PrCand(int l) const {
+  PR_CHECK(l >= 1 && l <= m_);
+  const std::vector<double> m_probs = TargetChainProbs(l);
+  // N(x): probability that a ring of x boxes has no prefix-viable chain of
+  // length l. The complete chain is a target chain anchored so that b_{m-1}
+  // ends a word; the correction term accounts for the word overlapping the
+  // ring seam at (i - 1) other offsets.
+  double n_of_m = m_probs[m_];
+  if (m_ > 1) {
+    for (int i = 2; i <= std::min(m_, l); ++i) {
+      n_of_m += m_probs[m_ - i] * (i - 1) * PrWord(i);
+    }
+  }
+  return 1.0 - n_of_m;
+}
+
+double FilterAnalysis::PrResult() const {
+  const int k_max = pmf_.max_value();
+  std::vector<double> conv = pmf_.p;
+  for (int r = 2; r <= m_; ++r) {
+    std::vector<double> next(conv.size() + k_max, 0.0);
+    for (size_t s = 0; s < conv.size(); ++s) {
+      if (conv[s] == 0.0) continue;
+      for (int k = 0; k <= k_max; ++k) next[s + k] += conv[s] * pmf_.p[k];
+    }
+    conv.swap(next);
+  }
+  double pr = 0;
+  for (size_t s = 0; s < conv.size(); ++s) {
+    if (static_cast<double>(s) <= tau_ + kEps) pr += conv[s];
+  }
+  return pr;
+}
+
+double FilterAnalysis::FalsePositiveRatio(int l) const {
+  const double cand = PrCand(l);
+  const double res = PrResult();
+  PR_CHECK(res > 0);
+  return (cand - res) / res;
+}
+
+MonteCarloEstimate EstimateByMonteCarlo(const DiscretePmf& pmf, int m,
+                                        double tau, int l, int trials,
+                                        uint64_t seed) {
+  PR_CHECK(trials > 0 && m > 0 && l >= 1 && l <= m);
+  Rng rng(seed);
+  // Build the CDF once for inverse-transform sampling.
+  std::vector<double> cdf(pmf.p.size());
+  double acc = 0;
+  for (size_t k = 0; k < pmf.p.size(); ++k) {
+    acc += pmf.p[k];
+    cdf[k] = acc;
+  }
+  cdf.back() = 1.0;
+  MonteCarloEstimate est;
+  std::vector<double> boxes(m);
+  int cand = 0, res = 0;
+  for (int t = 0; t < trials; ++t) {
+    double sum = 0;
+    for (int i = 0; i < m; ++i) {
+      const double u = rng.NextDouble();
+      int k = 0;
+      while (cdf[k] < u) ++k;
+      boxes[i] = k;
+      sum += k;
+    }
+    if (sum <= tau + 1e-9) ++res;
+    if (PrefixViableChainExists(boxes, tau, l)) ++cand;
+  }
+  est.pr_cand = static_cast<double>(cand) / trials;
+  est.pr_result = static_cast<double>(res) / trials;
+  return est;
+}
+
+}  // namespace pigeonring::core

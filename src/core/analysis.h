@@ -1,0 +1,88 @@
+// Filtering-power analysis of the pigeonring principle (§3.1, Figure 2).
+//
+// Under the assumption that the m boxes are i.i.d. random variables, the
+// paper derives Pr(CAND_l) — the probability that a random object passes the
+// strong-form filter with chain length l — by constructing every "target
+// chain" (a complete chain with no prefix-viable subchain of length l) as a
+// concatenation of words from a word set W, plus a shift correction. This
+// module implements that computation for discrete integer-valued box
+// distributions (the natural setting for Hamming distance boxes), together
+// with Pr(RES) and a Monte-Carlo estimator used to cross-validate the
+// closed-form recurrences.
+
+#ifndef PIGEONRING_CORE_ANALYSIS_H_
+#define PIGEONRING_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pigeonring::core {
+
+/// A probability mass function over the non-negative integers 0..K.
+struct DiscretePmf {
+  std::vector<double> p;  // p[k] = Pr(box == k)
+
+  /// Binomial(trials, prob): the per-part Hamming distance distribution for
+  /// uniform random binary vectors is Binomial(d/m, 1/2).
+  static DiscretePmf Binomial(int trials, double prob);
+
+  /// Uniform over the integers [lo, hi] (lo must be >= 0).
+  static DiscretePmf UniformInt(int lo, int hi);
+
+  int max_value() const { return static_cast<int>(p.size()) - 1; }
+};
+
+/// Closed-form filtering-power model for m i.i.d. integer boxes with uniform
+/// thresholds t_i = tau / m (the setting of Figure 2).
+class FilterAnalysis {
+ public:
+  /// `pmf` is the distribution of one box; `m` the number of boxes; `tau`
+  /// the selection threshold (n = tau, assuming ||B(x,q)||_1 = f(x,q)).
+  FilterAnalysis(DiscretePmf pmf, int m, double tau);
+
+  /// Pr(w_i): the probability that a chain of length `len` is a word of W
+  /// (len = 1: a non-viable box; len >= 2: a chain whose (len-1)-prefix is
+  /// prefix-viable but whose total is non-viable). Requires len >= 1.
+  double PrWord(int len) const;
+
+  /// Pr(CAND_l) = 1 - N(m): the probability that a random object has a
+  /// prefix-viable chain of length l somewhere on the ring.
+  double PrCand(int l) const;
+
+  /// Pr(RES) = Pr(sum of the m boxes <= tau).
+  double PrResult() const;
+
+  /// Expected (#false positives / #results) in the candidate set at chain
+  /// length l: (Pr(CAND_l) - Pr(RES)) / Pr(RES). This is the quantity
+  /// plotted in Figure 2.
+  double FalsePositiveRatio(int l) const;
+
+ private:
+  bool Viable(double sum, int len) const;
+  /// Pr that a chain of length x is a "target chain" (M(x) in the paper)
+  /// under maximum word length l.
+  std::vector<double> TargetChainProbs(int l) const;
+
+  DiscretePmf pmf_;
+  int m_;
+  double tau_;
+};
+
+/// Monte-Carlo estimates for cross-checking FilterAnalysis.
+struct MonteCarloEstimate {
+  double pr_cand = 0;    // fraction of trials with a prefix-viable chain of
+                         // length l
+  double pr_result = 0;  // fraction of trials with box sum <= tau
+};
+
+/// Samples `trials` rings of m i.i.d. boxes from `pmf` and measures the
+/// strong-form pass rate at chain length `l` and the result rate.
+MonteCarloEstimate EstimateByMonteCarlo(const DiscretePmf& pmf, int m,
+                                        double tau, int l, int trials,
+                                        uint64_t seed);
+
+}  // namespace pigeonring::core
+
+#endif  // PIGEONRING_CORE_ANALYSIS_H_

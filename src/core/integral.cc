@@ -1,0 +1,24 @@
+#include "core/integral.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/principle.h"
+
+namespace pigeonring::core {
+
+std::optional<int> FindIntegralViableStart(std::span<const double> samples,
+                                           double period, double n) {
+  PR_CHECK(!samples.empty());
+  PR_CHECK(period > 0);
+  const int grid = static_cast<int>(samples.size());
+  const double h = period / grid;
+  // Per-cell Riemann sums become the boxes; the per-cell quota is
+  // h * n / period = n / grid, so uniform thresholds with item bound n and
+  // `grid` boxes reproduce the windowed-integral bounds exactly.
+  std::vector<double> boxes(grid);
+  for (int i = 0; i < grid; ++i) boxes[i] = samples[i] * h;
+  return FindPrefixViableChain(boxes, ThresholdSeq::Uniform(n, grid), grid);
+}
+
+}  // namespace pigeonring::core

@@ -1,0 +1,32 @@
+// Integral form of the pigeonring principle (Appendix B, Theorem 9).
+//
+// For a Riemann-integrable periodic function b with period m and
+// integral(b over one period) <= n, Theorem 9 guarantees a starting point x1
+// such that every windowed integral from x1 satisfies
+//   integral_{x1}^{x2} b(x) dx  <=  (x2 - x1) * n / m.
+//
+// On a uniform grid this is exactly the strong form of the discrete
+// principle with boxes equal to the per-cell Riemann sums and uniform
+// per-cell thresholds — i.e. the integral form is the grid limit of
+// Theorem 3. This module exposes that reduction for numeric verification.
+
+#ifndef PIGEONRING_CORE_INTEGRAL_H_
+#define PIGEONRING_CORE_INTEGRAL_H_
+
+#include <optional>
+#include <span>
+
+namespace pigeonring::core {
+
+/// Given samples of b(x) at `samples.size()` uniformly spaced grid points
+/// covering one period of length `period`, finds a grid index i such that
+/// every windowed Riemann sum starting at grid point i (of 1, 2, ...,
+/// samples.size() cells, wrapping around) is bounded by
+/// (window length) * n / period. Returns nullopt if no such start exists
+/// (possible only when the total Riemann sum exceeds n).
+std::optional<int> FindIntegralViableStart(std::span<const double> samples,
+                                           double period, double n);
+
+}  // namespace pigeonring::core
+
+#endif  // PIGEONRING_CORE_INTEGRAL_H_

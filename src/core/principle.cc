@@ -1,0 +1,102 @@
+#include "core/principle.h"
+
+namespace pigeonring::core {
+
+bool PigeonholeHolds(std::span<const double> boxes, const ThresholdSeq& t) {
+  PR_CHECK(static_cast<int>(boxes.size()) == t.size());
+  for (int i = 0; i < static_cast<int>(boxes.size()); ++i) {
+    if (t.Viable(boxes[i], i, 1)) return true;
+  }
+  return false;
+}
+
+bool BasicViableChainExists(std::span<const double> boxes,
+                            const ThresholdSeq& t, int l) {
+  const Ring ring(boxes);
+  PR_CHECK(ring.size() == t.size());
+  PR_CHECK(l >= 1 && l <= ring.size());
+  for (int i = 0; i < ring.size(); ++i) {
+    if (t.Viable(ring.ChainSum(i, l), i, l)) return true;
+  }
+  return false;
+}
+
+int PrefixViableLength(const Ring& ring, const ThresholdSeq& t, int start,
+                       int l) {
+  PR_CHECK(l >= 1 && l <= ring.size());
+  double sum = 0;
+  for (int len = 1; len <= l; ++len) {
+    sum += ring.Box(start + len - 1);
+    if (!t.Viable(sum, start, len)) return len - 1;
+  }
+  return l;
+}
+
+std::optional<int> FindPrefixViableChain(std::span<const double> boxes,
+                                         const ThresholdSeq& t, int l) {
+  const Ring ring(boxes);
+  PR_CHECK(ring.size() == t.size());
+  PR_CHECK(l >= 1 && l <= ring.size());
+  const int m = ring.size();
+  int i = 0;
+  while (i < m) {
+    const int ok = PrefixViableLength(ring, t, i, l);
+    if (ok == l) return i;
+    // Corollary 2 skip: the check failed first at prefix length ok + 1, so
+    // c_i^{ok+1} is the first non-viable prefix. Any chain starting at
+    // j in (i, i + ok] would, if prefix-viable through the end of that
+    // failed prefix, concatenate with the viable chain c_i^{j-i} into a
+    // viable c_i^{ok+1} -- a contradiction. Hence starts i..i+ok are all
+    // ruled out for full length l.
+    i += ok + 1;
+  }
+  return std::nullopt;
+}
+
+int SuffixViableLength(const Ring& ring, const ThresholdSeq& t, int end,
+                       int l) {
+  PR_CHECK(l >= 1 && l <= ring.size());
+  double sum = 0;
+  for (int len = 1; len <= l; ++len) {
+    const int start = end - len + 1;
+    sum += ring.Box(start);
+    // The chain c_start^len must satisfy the bound for its own start/len.
+    if (!t.Viable(sum, start, len)) return len - 1;
+  }
+  return l;
+}
+
+std::optional<int> FindSuffixViableChain(std::span<const double> boxes,
+                                         const ThresholdSeq& t, int l) {
+  const Ring ring(boxes);
+  PR_CHECK(ring.size() == t.size());
+  PR_CHECK(l >= 1 && l <= ring.size());
+  const int m = ring.size();
+  int i = 0;  // iterate candidate END positions counterclockwise
+  while (i < m) {
+    const int end = m - 1 - i;
+    const int ok = SuffixViableLength(ring, t, end, l);
+    if (ok == l) return ((end % m) + m) % m;
+    // Mirror image of the Corollary-2 skip: ends end-1 .. end-ok are ruled
+    // out by the concatenation lemma.
+    i += ok + 1;
+  }
+  return std::nullopt;
+}
+
+bool PigeonholeHolds(std::span<const double> boxes, double n) {
+  return PigeonholeHolds(
+      boxes, ThresholdSeq::Uniform(n, static_cast<int>(boxes.size())));
+}
+
+bool BasicViableChainExists(std::span<const double> boxes, double n, int l) {
+  return BasicViableChainExists(
+      boxes, ThresholdSeq::Uniform(n, static_cast<int>(boxes.size())), l);
+}
+
+bool PrefixViableChainExists(std::span<const double> boxes, double n, int l) {
+  return PrefixViableChainExists(
+      boxes, ThresholdSeq::Uniform(n, static_cast<int>(boxes.size())), l);
+}
+
+}  // namespace pigeonring::core

@@ -1,0 +1,83 @@
+// The pigeonhole and pigeonring principles as filtering predicates (§3, §4).
+//
+// These are the reference implementations used by the generic filtering
+// framework, the tests, and the ablation benches. The problem-specific
+// search suites (src/hamming, src/setsim, ...) embed equivalent incremental
+// checks in their hot paths and are cross-validated against these functions.
+//
+// Terminology (paper §3): given boxes B and a threshold sequence T, a chain
+// c_i^l is *viable* if ||c_i^l||_1 satisfies the bound for length l, and
+// *prefix-viable* if every prefix c_i^{l'} (l' in [1..l]) is viable.
+//
+//  * Theorem 1 (pigeonhole):          some single box is viable.
+//  * Theorem 2 (pigeonring, basic):   for every l, some chain of length l is
+//                                     viable.
+//  * Theorem 3 (pigeonring, strong):  for every l, some chain of length l is
+//                                     prefix-viable.
+//  * Theorems 6/7 generalize 3 to variable threshold allocation and integer
+//    reduction; both are expressed through ThresholdSeq.
+
+#ifndef PIGEONRING_CORE_PRINCIPLE_H_
+#define PIGEONRING_CORE_PRINCIPLE_H_
+
+#include <optional>
+#include <span>
+
+#include "core/ring.h"
+#include "core/threshold.h"
+
+namespace pigeonring::core {
+
+/// Returns true iff at least one single box is viable under `t` (the
+/// pigeonhole condition; equals the pigeonring condition at l = 1).
+bool PigeonholeHolds(std::span<const double> boxes, const ThresholdSeq& t);
+
+/// Returns true iff some chain of length `l` is viable under `t` (the basic
+/// form of the pigeonring principle, Theorem 2). Requires 1 <= l <= m.
+bool BasicViableChainExists(std::span<const double> boxes,
+                            const ThresholdSeq& t, int l);
+
+/// Returns the length of the longest prefix-viable prefix of the chain of
+/// length `l` starting at box `start`, i.e. the largest k <= l such that
+/// c_start^{l'} is viable for every l' in [1..k]. Returns 0 when the single
+/// box b_start is already non-viable.
+int PrefixViableLength(const Ring& ring, const ThresholdSeq& t, int start,
+                       int l);
+
+/// Finds the smallest start index i in [0, m) such that the chain c_i^l is
+/// prefix-viable, or nullopt if none exists (the strong-form condition,
+/// Theorems 3/6/7). Applies the Corollary-2 skip: when the check starting at
+/// i first fails at prefix length l', no chain starting in [i .. i+l'-1] can
+/// be prefix-viable at length l, so those starts are skipped.
+std::optional<int> FindPrefixViableChain(std::span<const double> boxes,
+                                         const ThresholdSeq& t, int l);
+
+/// Convenience wrapper: strong-form existence test.
+inline bool PrefixViableChainExists(std::span<const double> boxes,
+                                    const ThresholdSeq& t, int l) {
+  return FindPrefixViableChain(boxes, t, l).has_value();
+}
+
+/// Uniform-threshold conveniences for the classic statement "if ||B||_1 <= n
+/// then ...". `n` is the item bound of Theorems 1-3.
+bool PigeonholeHolds(std::span<const double> boxes, double n);
+bool BasicViableChainExists(std::span<const double> boxes, double n, int l);
+bool PrefixViableChainExists(std::span<const double> boxes, double n, int l);
+
+/// The counterclockwise direction (Corollary 1): returns the length of the
+/// longest suffix-viable suffix of the chain of length `l` ENDING at box
+/// `end` — i.e. the largest k <= l such that c_{end-k'+1}^{k'} is viable for
+/// every k' in [1..k].
+int SuffixViableLength(const Ring& ring, const ThresholdSeq& t, int end,
+                       int l);
+
+/// Finds an end index i such that the chain of length l ending at box i is
+/// suffix-viable, or nullopt (Corollary 1 guarantees existence whenever
+/// ||B||_1 is within the bound). Mirrors FindPrefixViableChain, including
+/// the Corollary-2 skip.
+std::optional<int> FindSuffixViableChain(std::span<const double> boxes,
+                                         const ThresholdSeq& t, int l);
+
+}  // namespace pigeonring::core
+
+#endif  // PIGEONRING_CORE_PRINCIPLE_H_

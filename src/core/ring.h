@@ -1,0 +1,55 @@
+// Ring / chain abstraction (§3 of the paper).
+//
+// A sequence B of m real numbers ("boxes") is arranged clockwise in a ring
+// where b_{m-1} is adjacent to b_0. A chain c_i^l is the sequence of l
+// consecutive boxes starting at b_i, wrapping around the ring; its value
+// ||c_i^l||_1 is the sum of its elements. Ring provides O(1) chain sums via
+// prefix sums over a doubled index space.
+
+#ifndef PIGEONRING_CORE_RING_H_
+#define PIGEONRING_CORE_RING_H_
+
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring::core {
+
+/// A read-only ring view over m boxes with O(1) chain-sum queries.
+class Ring {
+ public:
+  /// Builds prefix sums over `boxes`; O(m).
+  explicit Ring(std::span<const double> boxes)
+      : m_(static_cast<int>(boxes.size())), prefix_(2 * boxes.size() + 1, 0) {
+    PR_CHECK(m_ > 0);
+    for (int i = 0; i < 2 * m_; ++i) {
+      prefix_[i + 1] = prefix_[i] + boxes[i % m_];
+    }
+  }
+
+  /// Number of boxes m.
+  int size() const { return m_; }
+
+  /// Value of box b_i (i taken modulo m).
+  double Box(int i) const { return ChainSum(i, 1); }
+
+  /// ||c_i^l||_1: sum of the chain of length l starting at box i (i taken
+  /// modulo m). Requires 0 <= l <= m.
+  double ChainSum(int i, int l) const {
+    PR_CHECK(l >= 0 && l <= m_);
+    const int start = ((i % m_) + m_) % m_;
+    return prefix_[start + l] - prefix_[start];
+  }
+
+  /// ||B||_1: the sum of all boxes.
+  double TotalSum() const { return prefix_[m_]; }
+
+ private:
+  int m_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace pigeonring::core
+
+#endif  // PIGEONRING_CORE_RING_H_

@@ -1,0 +1,62 @@
+#include "core/threshold.h"
+
+#include <numeric>
+
+namespace pigeonring::core {
+
+namespace {
+constexpr double kSumTolerance = 1e-6;
+}  // namespace
+
+ThresholdSeq::ThresholdSeq(std::vector<double> thresholds,
+                           double slack_per_extra_box, Sense sense)
+    : m_(static_cast<int>(thresholds.size())),
+      sense_(sense),
+      slack_per_extra_box_(slack_per_extra_box),
+      prefix_(2 * thresholds.size() + 1, 0) {
+  PR_CHECK(m_ > 0);
+  for (int i = 0; i < 2 * m_; ++i) {
+    prefix_[i + 1] = prefix_[i] + thresholds[i % m_];
+  }
+}
+
+ThresholdSeq ThresholdSeq::Uniform(double n, int m) {
+  PR_CHECK(m > 0);
+  return ThresholdSeq(std::vector<double>(m, n / m), /*slack_per_extra_box=*/0,
+                      Sense::kLessEqual);
+}
+
+StatusOr<ThresholdSeq> ThresholdSeq::Variable(std::vector<double> thresholds,
+                                              double n, Sense sense) {
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("thresholds must be non-empty");
+  }
+  const double sum =
+      std::accumulate(thresholds.begin(), thresholds.end(), 0.0);
+  if (std::fabs(sum - n) > kSumTolerance * std::max(1.0, std::fabs(n))) {
+    return Status::InvalidArgument(
+        "variable threshold allocation requires ||T||_1 == n (Theorem 6)");
+  }
+  return ThresholdSeq(std::move(thresholds), /*slack_per_extra_box=*/0, sense);
+}
+
+StatusOr<ThresholdSeq> ThresholdSeq::IntegerReduced(
+    std::vector<double> thresholds, double n, Sense sense) {
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("thresholds must be non-empty");
+  }
+  const double m = static_cast<double>(thresholds.size());
+  const double sum =
+      std::accumulate(thresholds.begin(), thresholds.end(), 0.0);
+  const double required =
+      sense == Sense::kLessEqual ? n - m + 1 : n + m - 1;
+  if (std::fabs(sum - required) > kSumTolerance) {
+    return Status::InvalidArgument(
+        "integer reduction requires ||T||_1 == n - m + 1 (<=) or n + m - 1 "
+        "(>=) (Theorem 7)");
+  }
+  const double slack = sense == Sense::kLessEqual ? 1.0 : -1.0;
+  return ThresholdSeq(std::move(thresholds), slack, sense);
+}
+
+}  // namespace pigeonring::core

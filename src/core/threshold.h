@@ -1,0 +1,98 @@
+// Threshold sequences for pigeonhole / pigeonring filtering (§4).
+//
+// A ThresholdSeq captures the per-box thresholds T = (t_0, ..., t_{m-1})
+// together with the per-chain-length slack term that distinguishes the three
+// allocation schemes of the paper:
+//
+//  * Uniform:            t_i = n/m,          slack(l) = 0        (Thm 2/3)
+//  * Variable allocation: ||T||_1 = n,        slack(l) = 0        (Thm 6)
+//  * Integer reduction:  ||T||_1 = n - m + 1, slack(l) = l - 1    (Thm 7, <=)
+//                        ||T||_1 = n + m - 1, slack(l) = 1 - l    (Thm 7, >=)
+//
+// A chain prefix c_i^{l'} is viable iff
+//   ||c_i^{l'}||_1  <=  Bound(i, l')     (Sense::kLessEqual), or
+//   ||c_i^{l'}||_1  >=  Bound(i, l')     (Sense::kGreaterEqual),
+// where Bound(i, l') = sum_{j=i}^{i+l'-1} t_j + slack(l').
+
+#ifndef PIGEONRING_CORE_THRESHOLD_H_
+#define PIGEONRING_CORE_THRESHOLD_H_
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pigeonring::core {
+
+/// Direction of the selection constraint: f(x,q) <= tau or f(x,q) >= tau.
+enum class Sense {
+  kLessEqual,
+  kGreaterEqual,
+};
+
+/// Immutable per-box threshold sequence with O(1) chain-bound queries.
+class ThresholdSeq {
+ public:
+  /// Uniform thresholds t_i = n/m for every box (Theorems 2/3).
+  static ThresholdSeq Uniform(double n, int m);
+
+  /// Variable threshold allocation (Theorem 6). Requires ||T||_1 == n up to
+  /// floating-point tolerance; n is the bound on ||B||_1.
+  static StatusOr<ThresholdSeq> Variable(std::vector<double> thresholds,
+                                         double n,
+                                         Sense sense = Sense::kLessEqual);
+
+  /// Integer reduction (Theorem 7). For the <= sense requires
+  /// ||T||_1 == n - m + 1; for the >= sense requires ||T||_1 == n + m - 1.
+  /// Boxes and thresholds are assumed integer-valued.
+  static StatusOr<ThresholdSeq> IntegerReduced(std::vector<double> thresholds,
+                                               double n,
+                                               Sense sense = Sense::kLessEqual);
+
+  /// Number of boxes m.
+  int size() const { return m_; }
+
+  Sense sense() const { return sense_; }
+
+  /// The raw threshold t_i (i taken modulo m).
+  double Threshold(int i) const {
+    const int j = ((i % m_) + m_) % m_;
+    return prefix_[j + 1] - prefix_[j];
+  }
+
+  /// The viability bound for a chain prefix of length l starting at box i:
+  /// sum_{j=i}^{i+l-1} t_j + slack(l). Requires 1 <= l <= m.
+  double Bound(int i, int l) const {
+    PR_CHECK(l >= 1 && l <= m_);
+    const int start = ((i % m_) + m_) % m_;
+    const double sum = prefix_[start + l] - prefix_[start];
+    return sum + slack_per_extra_box_ * (l - 1);
+  }
+
+  /// Returns true iff `chain_sum` satisfies the viability comparison against
+  /// Bound(i, l) under this sequence's sense. A small epsilon absorbs
+  /// floating-point noise for real-valued thresholds such as n/m.
+  bool Viable(double chain_sum, int i, int l) const {
+    const double bound = Bound(i, l);
+    if (sense_ == Sense::kLessEqual) return chain_sum <= bound + kEps;
+    return chain_sum >= bound - kEps;
+  }
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  ThresholdSeq(std::vector<double> thresholds, double slack_per_extra_box,
+               Sense sense);
+
+  int m_;
+  Sense sense_;
+  // slack(l) = slack_per_extra_box_ * (l - 1): 0 for uniform/variable
+  // allocation, +1 for integer reduction with <=, -1 with >=.
+  double slack_per_extra_box_;
+  std::vector<double> prefix_;  // doubled prefix sums for ring wrap-around
+};
+
+}  // namespace pigeonring::core
+
+#endif  // PIGEONRING_CORE_THRESHOLD_H_

@@ -1,0 +1,62 @@
+#include "datagen/binary_vectors.h"
+
+#include "common/random.h"
+
+namespace pigeonring::datagen {
+
+std::vector<BitVector> GenerateBinaryVectors(
+    const BinaryVectorConfig& config) {
+  PR_CHECK(config.dimensions > 0 && config.num_objects >= 0);
+  PR_CHECK(config.num_clusters > 0);
+  PR_CHECK(config.bit_bias >= 0.0 && config.bit_bias < 1.0);
+  Rng rng(config.seed);
+  const int d = config.dimensions;
+
+  // Fixed per-dimension one-probabilities (0.5 everywhere when unbiased).
+  std::vector<double> p_one(d, 0.5);
+  if (config.bit_bias > 0.0) {
+    for (double& p : p_one) {
+      p = 0.5 + (rng.NextDouble() - 0.5) * config.bit_bias;
+    }
+  }
+  auto random_vector = [&]() {
+    BitVector v(d);
+    for (int i = 0; i < d; ++i) v.Set(i, rng.NextBernoulli(p_one[i]));
+    return v;
+  };
+
+  std::vector<BitVector> centers;
+  centers.reserve(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    centers.push_back(random_vector());
+  }
+
+  std::vector<BitVector> objects;
+  objects.reserve(config.num_objects);
+  for (int o = 0; o < config.num_objects; ++o) {
+    if (rng.NextBernoulli(config.cluster_fraction)) {
+      BitVector v = centers[rng.NextBounded(config.num_clusters)];
+      for (int i = 0; i < d; ++i) {
+        if (rng.NextBernoulli(config.flip_rate)) v.Flip(i);
+      }
+      objects.push_back(std::move(v));
+    } else {
+      objects.push_back(random_vector());
+    }
+  }
+  return objects;
+}
+
+std::vector<BitVector> SampleQueries(const std::vector<BitVector>& objects,
+                                     int count, uint64_t seed) {
+  PR_CHECK(!objects.empty());
+  Rng rng(seed);
+  std::vector<BitVector> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    queries.push_back(objects[rng.NextBounded(objects.size())]);
+  }
+  return queries;
+}
+
+}  // namespace pigeonring::datagen

@@ -1,0 +1,46 @@
+// Synthetic binary-vector datasets standing in for GIST and SIFT (§8.1).
+//
+// The paper converts GIST descriptors (spectral hashing) and SIFT features
+// to 256- and 512-dimensional binary codes. What the GPH/Ring algorithms are
+// sensitive to is (a) the existence of close pairs (planted clusters of
+// near-duplicates) and (b) the per-part distance distribution (a mix of
+// tight intra-cluster distances and near-Binomial background distances).
+// This generator reproduces both: a fraction of the objects are noisy copies
+// of shared cluster centers; the rest are uniform random codes.
+
+#ifndef PIGEONRING_DATAGEN_BINARY_VECTORS_H_
+#define PIGEONRING_DATAGEN_BINARY_VECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace pigeonring::datagen {
+
+/// Configuration for GenerateBinaryVectors.
+struct BinaryVectorConfig {
+  int dimensions = 256;       // 256 ~ GIST-like, 512 ~ SIFT-like
+  int num_objects = 100000;
+  int num_clusters = 2000;    // planted near-duplicate groups
+  double cluster_fraction = 0.5;  // fraction of objects drawn from clusters
+  double flip_rate = 0.04;    // per-bit noise applied to cluster members
+  // Per-dimension bias strength in [0, 1): dimension i is 1 with a fixed
+  // probability p_i drawn from 0.5 +- bias/2. Real hashed codes (GIST/SIFT)
+  // have strongly biased bits, which is what makes GPH's cost-model
+  // threshold allocation worthwhile. 0 keeps every bit fair.
+  double bit_bias = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates the dataset described by `config`; deterministic in the seed.
+std::vector<BitVector> GenerateBinaryVectors(const BinaryVectorConfig& config);
+
+/// Samples `count` query vectors from `objects` (the paper samples 1000
+/// dataset objects as queries); deterministic in the seed.
+std::vector<BitVector> SampleQueries(const std::vector<BitVector>& objects,
+                                     int count, uint64_t seed);
+
+}  // namespace pigeonring::datagen
+
+#endif  // PIGEONRING_DATAGEN_BINARY_VECTORS_H_

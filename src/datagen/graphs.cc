@@ -1,0 +1,123 @@
+#include "datagen/graphs.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/random.h"
+
+namespace pigeonring::datagen {
+
+using graphed::Edge;
+using graphed::Graph;
+
+namespace {
+
+// Vertex-label source: uniform, or Zipf-skewed when label_skew > 0.
+class LabelSampler {
+ public:
+  explicit LabelSampler(const GraphConfig& config)
+      : uniform_bound_(config.vertex_labels) {
+    if (config.label_skew > 0.0) {
+      zipf_.emplace(config.vertex_labels, config.label_skew);
+    }
+  }
+  int Sample(Rng& rng) const {
+    if (zipf_.has_value()) return zipf_->Sample(rng);
+    return static_cast<int>(rng.NextBounded(uniform_bound_));
+  }
+
+ private:
+  int uniform_bound_;
+  std::optional<ZipfSampler> zipf_;
+};
+
+Graph FreshGraph(Rng& rng, const GraphConfig& config,
+                 const LabelSampler& labels_src) {
+  const int n = std::max<int>(
+      2, static_cast<int>(rng.NextInRange(config.avg_vertices - 3,
+                                          config.avg_vertices + 3)));
+  std::vector<int> labels(n);
+  for (int& label : labels) label = labels_src.Sample(rng);
+  Graph g(std::move(labels));
+  // Random spanning tree keeps the graph connected.
+  for (int v = 1; v < n; ++v) {
+    const int parent = static_cast<int>(rng.NextBounded(v));
+    g.AddEdge(v, parent, static_cast<int>(rng.NextBounded(config.edge_labels)));
+  }
+  const int target_edges = std::max(
+      n - 1, static_cast<int>(rng.NextInRange(config.avg_edges - 2,
+                                              config.avg_edges + 2)));
+  int guard = 0;
+  while (g.num_edges() < target_edges && guard < 50 * target_edges) {
+    ++guard;
+    const int u = static_cast<int>(rng.NextBounded(n));
+    const int v = static_cast<int>(rng.NextBounded(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v, static_cast<int>(rng.NextBounded(config.edge_labels)));
+  }
+  return g;
+}
+
+Graph Perturb(Graph g, Rng& rng, const GraphConfig& config,
+              const LabelSampler& labels_src) {
+  const int ops = 1 + static_cast<int>(rng.NextBounded(config.max_perturb_ops));
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.NextBounded(4)) {
+      case 0: {  // relabel a vertex
+        const int v = static_cast<int>(rng.NextBounded(g.num_vertices()));
+        g.set_vertex_label(v, labels_src.Sample(rng));
+        break;
+      }
+      case 1: {  // add an edge (if a free slot exists)
+        const int u = static_cast<int>(rng.NextBounded(g.num_vertices()));
+        const int v = static_cast<int>(rng.NextBounded(g.num_vertices()));
+        if (u != v && !g.HasEdge(u, v)) {
+          g.AddEdge(u, v,
+                    static_cast<int>(rng.NextBounded(config.edge_labels)));
+        }
+        break;
+      }
+      case 2: {  // delete an edge: rebuild without one random edge
+        if (g.num_edges() == 0) break;
+        const int victim = static_cast<int>(rng.NextBounded(g.num_edges()));
+        Graph h(g.vertex_labels());
+        for (int i = 0; i < g.num_edges(); ++i) {
+          if (i == victim) continue;
+          const Edge& e = g.edges()[i];
+          h.AddEdge(e.u, e.v, e.label);
+        }
+        g = std::move(h);
+        break;
+      }
+      default: {  // add a pendant vertex
+        const int v = g.AddVertex(labels_src.Sample(rng));
+        const int u = static_cast<int>(rng.NextBounded(v));
+        g.AddEdge(u, v, static_cast<int>(rng.NextBounded(config.edge_labels)));
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<Graph> GenerateGraphs(const GraphConfig& config) {
+  PR_CHECK(config.num_graphs >= 0);
+  PR_CHECK(config.vertex_labels >= 1 && config.edge_labels >= 1);
+  Rng rng(config.seed);
+  const LabelSampler labels_src(config);
+  std::vector<Graph> graphs;
+  graphs.reserve(config.num_graphs);
+  for (int i = 0; i < config.num_graphs; ++i) {
+    if (!graphs.empty() && rng.NextBernoulli(config.duplicate_fraction)) {
+      graphs.push_back(Perturb(graphs[rng.NextBounded(graphs.size())], rng,
+                               config, labels_src));
+    } else {
+      graphs.push_back(FreshGraph(rng, config, labels_src));
+    }
+  }
+  return graphs;
+}
+
+}  // namespace pigeonring::datagen

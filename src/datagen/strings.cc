@@ -1,0 +1,87 @@
+#include "datagen/strings.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pigeonring::datagen {
+
+namespace {
+
+// A small syllable pool sampled with Zipfian skew makes some q-grams much
+// more frequent than others, as in natural text. Letters inside syllables
+// are themselves Zipf-distributed (natural text has rare letters), which
+// gives the content-based filter of §6.3 something to discriminate on.
+std::vector<std::string> BuildSyllables(Rng& rng, int alphabet, int count) {
+  ZipfSampler letters(alphabet, 1.0);
+  std::vector<std::string> syllables;
+  syllables.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int len = 2 + static_cast<int>(rng.NextBounded(3));
+    std::string s;
+    for (int j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + letters.Sample(rng)));
+    }
+    syllables.push_back(std::move(s));
+  }
+  return syllables;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateStrings(const StringConfig& config) {
+  PR_CHECK(config.num_records >= 0 && config.avg_length >= 2);
+  PR_CHECK(config.alphabet >= 2 && config.alphabet <= 26);
+  Rng rng(config.seed);
+  const std::vector<std::string> syllables =
+      BuildSyllables(rng, config.alphabet, 256);
+  ZipfSampler zipf(static_cast<int>(syllables.size()), 0.9);
+
+  auto fresh = [&]() {
+    const int lo = std::max(2, config.avg_length / 2);
+    const int hi = config.avg_length + config.avg_length / 2;
+    const int target = static_cast<int>(rng.NextInRange(lo, hi));
+    std::string s;
+    while (static_cast<int>(s.size()) < target) {
+      s += syllables[zipf.Sample(rng)];
+    }
+    s.resize(target);
+    return s;
+  };
+
+  auto perturb = [&](std::string s) {
+    const int edits =
+        1 + static_cast<int>(rng.NextBounded(config.max_perturb_edits));
+    for (int e = 0; e < edits && !s.empty(); ++e) {
+      const int pos = static_cast<int>(rng.NextBounded(s.size()));
+      const char c = static_cast<char>('a' + rng.NextBounded(config.alphabet));
+      switch (rng.NextBounded(3)) {
+        case 0:
+          s[pos] = c;  // substitution
+          break;
+        case 1:
+          s.insert(s.begin() + pos, c);  // insertion
+          break;
+        default:
+          s.erase(s.begin() + pos);  // deletion
+          break;
+      }
+    }
+    if (s.empty()) s = "a";
+    return s;
+  };
+
+  std::vector<std::string> records;
+  records.reserve(config.num_records);
+  for (int r = 0; r < config.num_records; ++r) {
+    if (!records.empty() && rng.NextBernoulli(config.duplicate_fraction)) {
+      records.push_back(perturb(records[rng.NextBounded(records.size())]));
+    } else {
+      records.push_back(fresh());
+    }
+  }
+  return records;
+}
+
+}  // namespace pigeonring::datagen

@@ -1,0 +1,33 @@
+// Synthetic string datasets standing in for IMDB and PubMed (§8.1).
+//
+// Edit distance filters care about string length, alphabet size (q-gram
+// selectivity), and the presence of near-duplicate pairs. Strings are
+// "word-like": concatenations of syllables drawn from a Zipfian pool,
+// which concentrates q-gram frequencies the way natural text does. A
+// fraction of records are edit-perturbed copies of earlier records.
+
+#ifndef PIGEONRING_DATAGEN_STRINGS_H_
+#define PIGEONRING_DATAGEN_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pigeonring::datagen {
+
+/// Configuration for GenerateStrings.
+struct StringConfig {
+  int num_records = 50000;
+  int avg_length = 16;       // 16 ~ IMDB-like names, 101 ~ PubMed-like titles
+  int alphabet = 26;         // lowercase letters
+  double duplicate_fraction = 0.3;  // edit-perturbed near-copies
+  int max_perturb_edits = 3;        // edits applied to each near-copy
+  uint64_t seed = 1;
+};
+
+/// Generates the dataset; deterministic in the seed.
+std::vector<std::string> GenerateStrings(const StringConfig& config);
+
+}  // namespace pigeonring::datagen
+
+#endif  // PIGEONRING_DATAGEN_STRINGS_H_

@@ -1,0 +1,61 @@
+#include "datagen/token_sets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pigeonring::datagen {
+
+std::vector<std::vector<int>> GenerateTokenSets(
+    const TokenSetConfig& config) {
+  PR_CHECK(config.num_records >= 0 && config.avg_tokens >= 1);
+  PR_CHECK(config.universe_size >= 2);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.universe_size, config.zipf_exponent);
+
+  auto fresh_record = [&]() {
+    // Record length: uniform in [avg/2, 3*avg/2] for mild variety.
+    const int lo = std::max(1, config.avg_tokens / 2);
+    const int hi = config.avg_tokens + config.avg_tokens / 2;
+    const int len = static_cast<int>(rng.NextInRange(lo, hi));
+    std::vector<int> tokens;
+    tokens.reserve(len);
+    int guard = 0;
+    while (static_cast<int>(tokens.size()) < len &&
+           guard < 20 * len) {
+      ++guard;
+      const int t = zipf.Sample(rng);
+      if (std::find(tokens.begin(), tokens.end(), t) == tokens.end()) {
+        tokens.push_back(t);
+      }
+    }
+    return tokens;
+  };
+
+  std::vector<std::vector<int>> records;
+  records.reserve(config.num_records);
+  for (int r = 0; r < config.num_records; ++r) {
+    if (!records.empty() && rng.NextBernoulli(config.duplicate_fraction)) {
+      // Perturbed near-copy of a random earlier record.
+      std::vector<int> copy = records[rng.NextBounded(records.size())];
+      std::vector<int> tokens;
+      tokens.reserve(copy.size() + 2);
+      for (int t : copy) {
+        if (rng.NextBernoulli(config.perturb_rate)) {
+          if (rng.NextBernoulli(0.5)) continue;  // drop
+          tokens.push_back(zipf.Sample(rng));    // substitute
+        } else {
+          tokens.push_back(t);
+        }
+      }
+      if (tokens.empty()) tokens.push_back(zipf.Sample(rng));
+      records.push_back(std::move(tokens));
+    } else {
+      records.push_back(fresh_record());
+    }
+  }
+  return records;
+}
+
+}  // namespace pigeonring::datagen

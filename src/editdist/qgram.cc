@@ -1,0 +1,93 @@
+#include "editdist/qgram.h"
+
+#include <algorithm>
+
+#include "editdist/verify.h"
+
+namespace pigeonring::editdist {
+
+std::string PadForGrams(const std::string& s, int kappa) {
+  const std::string pad(kappa - 1, '\x01');
+  return pad + s + pad;
+}
+
+GramDictionary::GramDictionary(const std::vector<std::string>& data,
+                               int kappa)
+    : kappa_(kappa) {
+  PR_CHECK(kappa_ >= 1);
+  std::unordered_map<std::string, int> freq;
+  for (const std::string& raw : data) {
+    const std::string s = PadForGrams(raw, kappa_);
+    for (int p = 0; p + kappa_ <= static_cast<int>(s.size()); ++p) {
+      ++freq[s.substr(p, kappa_)];
+    }
+  }
+  std::vector<std::pair<int, std::string>> order;
+  order.reserve(freq.size());
+  for (auto& [gram, f] : freq) order.emplace_back(f, gram);
+  std::sort(order.begin(), order.end());
+  rank_of_.reserve(order.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    rank_of_[order[r].second] = static_cast<int>(r);
+  }
+}
+
+int GramDictionary::RankOf(const std::string& s, int position,
+                           int* next_unknown) const {
+  auto it = rank_of_.find(s.substr(position, kappa_));
+  if (it != rank_of_.end()) return it->second;
+  return (*next_unknown)--;
+}
+
+GramProfile GramDictionary::Profile(const std::string& raw, int tau) const {
+  PR_CHECK(tau >= 0);
+  GramProfile profile;
+  const std::string s = PadForGrams(raw, kappa_);
+  const int num_grams = static_cast<int>(s.size()) - kappa_ + 1;
+  const int prefix_target = kappa_ * tau + 1;
+  if (num_grams < prefix_target) {
+    profile.is_short = true;
+    return profile;
+  }
+  std::vector<Gram> grams(num_grams);
+  int next_unknown = -1;
+  for (int p = 0; p < num_grams; ++p) {
+    grams[p] = {RankOf(s, p, &next_unknown), p};
+  }
+  std::sort(grams.begin(), grams.end(), [](const Gram& a, const Gram& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.position < b.position;
+  });
+  int cut = prefix_target;
+  // Tie extension: include every occurrence sharing the prefix-last rank.
+  while (cut < num_grams && grams[cut].rank == grams[cut - 1].rank) ++cut;
+  profile.prefix.assign(grams.begin(), grams.begin() + cut);
+  profile.prefix_last_rank = profile.prefix.back().rank;
+
+  // Pivotal grams: tau + 1 pairwise disjoint grams from the prefix, by
+  // interval scheduling (earliest end). kappa*tau + 1 grams of width kappa
+  // always contain tau + 1 disjoint ones.
+  std::vector<Gram> by_position = profile.prefix;
+  std::sort(by_position.begin(), by_position.end(),
+            [](const Gram& a, const Gram& b) {
+              return a.position < b.position;
+            });
+  int last_end = -1;
+  for (const Gram& g : by_position) {
+    if (static_cast<int>(profile.pivotal.size()) == tau + 1) break;
+    if (g.position > last_end) {
+      profile.pivotal.push_back(g);
+      last_end = g.position + kappa_ - 1;
+    }
+  }
+  PR_CHECK_MSG(static_cast<int>(profile.pivotal.size()) == tau + 1,
+               "interval scheduling failed to find %d disjoint grams",
+               tau + 1);
+  profile.pivotal_masks.reserve(profile.pivotal.size());
+  for (const Gram& g : profile.pivotal) {
+    profile.pivotal_masks.push_back(
+        AlphabetMask(std::string_view(s).substr(g.position, kappa_)));
+  }
+  return profile;
+}
+
+}  // namespace pigeonring::editdist

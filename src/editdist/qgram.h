@@ -1,0 +1,72 @@
+// Positional q-grams under a global frequency order (§6.3).
+//
+// Each string of length >= kappa yields (len - kappa + 1) positional grams.
+// Grams are ranked by increasing frequency over the data collection (rank 0
+// = rarest); query grams absent from the data receive unique negative ranks
+// (rarer than everything, never matching). The *prefix* of a string is its
+// kappa*tau + 1 smallest-ranked gram occurrences — extended to include rank
+// ties so that "rank <= prefix-last rank" implies prefix membership, which
+// the candidate-generation completeness argument relies on. The *pivotal*
+// grams are tau + 1 pairwise disjoint grams chosen from the prefix by
+// interval scheduling (earliest end first), which always succeeds when the
+// string has at least kappa*tau + 1 grams.
+
+#ifndef PIGEONRING_EDITDIST_QGRAM_H_
+#define PIGEONRING_EDITDIST_QGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring::editdist {
+
+/// Pads `s` with (kappa - 1) sentinel characters ('\x01') on both ends —
+/// the standard positional-gram trick. Identical padding on both strings
+/// leaves the edit distance unchanged while giving short strings a full
+/// complement of grams (len + kappa - 1 of them).
+std::string PadForGrams(const std::string& s, int kappa);
+
+/// One positional gram occurrence.
+struct Gram {
+  int rank = 0;      // global-order rank (negative = unknown query gram)
+  int position = 0;  // start offset in the string
+};
+
+/// Per-string gram metadata.
+struct GramProfile {
+  std::vector<Gram> prefix;   // sorted by (rank, position), ties included
+  int prefix_last_rank = -1;  // rank of the last prefix gram
+  std::vector<Gram> pivotal;  // tau + 1 disjoint grams, sorted by position
+  std::vector<uint64_t> pivotal_masks;  // alphabet masks of pivotal grams
+  bool is_short = false;      // too few grams for the pivotal scheme
+};
+
+/// The gram dictionary: builds the global order from the data collection
+/// and computes per-string profiles.
+class GramDictionary {
+ public:
+  /// Builds ranks from all grams of `data` with gram length `kappa`.
+  GramDictionary(const std::vector<std::string>& data, int kappa);
+
+  int kappa() const { return kappa_; }
+  int universe_size() const { return static_cast<int>(rank_of_.size()); }
+
+  /// Computes the profile of `s` for threshold `tau`. Grams, positions,
+  /// and masks refer to the *padded* string PadForGrams(s, kappa). Strings
+  /// whose padded form still has fewer than kappa*tau + 1 grams are flagged
+  /// short (handled by length-bucket scanning instead of the gram index).
+  GramProfile Profile(const std::string& s, int tau) const;
+
+ private:
+  int RankOf(const std::string& s, int position, int* next_unknown) const;
+
+  int kappa_;
+  std::unordered_map<std::string, int> rank_of_;
+};
+
+}  // namespace pigeonring::editdist
+
+#endif  // PIGEONRING_EDITDIST_QGRAM_H_

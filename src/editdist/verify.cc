@@ -1,0 +1,109 @@
+#include "editdist/verify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring::editdist {
+
+int BandedEditDistance(std::string_view a, std::string_view b, int tau) {
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  if (tau < 0) return 1;  // any positive value: nothing qualifies
+  if (std::abs(la - lb) > tau) return tau + 1;
+  if (la == 0) return lb;
+  if (lb == 0) return la;
+  const int big = tau + 1;
+  // dp[j] = edit distance for prefixes a[0..i), b[0..j), banded to
+  // |i - j| <= tau.
+  std::vector<int> dp(lb + 1, big);
+  for (int j = 0; j <= std::min(lb, tau); ++j) dp[j] = j;
+  for (int i = 1; i <= la; ++i) {
+    const int lo = std::max(1, i - tau);
+    const int hi = std::min(lb, i + tau);
+    int diag = dp[lo - 1];           // dp_{i-1}[lo-1]
+    if (lo == 1) dp[0] = i <= tau ? i : big;
+    int row_min = lo > 1 ? big : dp[0];
+    for (int j = lo; j <= hi; ++j) {
+      const int up = dp[j];          // dp_{i-1}[j]
+      int best = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      if (up + 1 < best) best = up + 1;        // delete from a
+      if (dp[j - 1] + 1 < best) best = dp[j - 1] + 1;  // insert into a
+      if (best > big) best = big;
+      diag = up;
+      dp[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (hi < lb) dp[hi + 1] = big;  // invalidate cell outside the new band
+    if (row_min > tau) return tau + 1;  // the whole band exceeded tau
+  }
+  return dp[lb];
+}
+
+int EditDistance(std::string_view a, std::string_view b) {
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  std::vector<int> dp(lb + 1);
+  for (int j = 0; j <= lb; ++j) dp[j] = j;
+  for (int i = 1; i <= la; ++i) {
+    int diag = dp[0];
+    dp[0] = i;
+    for (int j = 1; j <= lb; ++j) {
+      const int up = dp[j];
+      dp[j] = std::min({diag + (a[i - 1] == b[j - 1] ? 0 : 1), up + 1,
+                        dp[j - 1] + 1});
+      diag = up;
+    }
+  }
+  return dp[lb];
+}
+
+int MinSubstringEditDistance(std::string_view pattern, std::string_view text,
+                             int win_lo, int win_hi, int max_len) {
+  const int lp = static_cast<int>(pattern.size());
+  const int lt = static_cast<int>(text.size());
+  win_lo = std::max(win_lo, 0);
+  win_hi = std::min(win_hi, lt - 1);
+  if (lp == 0) return 0;
+  if (win_lo > win_hi || lt == 0) return lp;  // no admissible substring
+  // Region of text reachable: starts in [win_lo, win_hi], lengths up to
+  // max_len.
+  const int region_end = std::min(lt, win_hi + max_len);  // exclusive
+  const int region_len = region_end - win_lo;
+  // Semi-global DP: dp[i][j] = min edit distance from pattern[0..i) to a
+  // substring of region ending at region position j, with free start at any
+  // window position. Row 0 is 0 at positions j corresponding to starts in
+  // [win_lo, win_hi] (empty substring started there), and increases outside.
+  std::vector<int> prev(region_len + 1), cur(region_len + 1);
+  const int window_width = win_hi - win_lo;  // starts allowed: 0..window_width
+  for (int j = 0; j <= region_len; ++j) {
+    prev[j] = j <= window_width ? 0 : j - window_width;
+  }
+  int best = lp;  // empty substring from any window start costs lp
+  for (int i = 1; i <= lp; ++i) {
+    cur[0] = i;
+    for (int j = 1; j <= region_len; ++j) {
+      const char tc = text[win_lo + j - 1];
+      cur[j] = std::min({prev[j - 1] + (pattern[i - 1] == tc ? 0 : 1),
+                         prev[j] + 1, cur[j - 1] + 1});
+    }
+    prev.swap(cur);
+  }
+  // Free end anywhere in the region, but the substring length constraint
+  // (v - u + 1 <= max_len) is enforced approximately by the region bound;
+  // substrings longer than max_len only ever increase the distance for
+  // patterns of length <= max_len, so this is a valid lower bound and exact
+  // whenever lp <= max_len (always true for the alignment filter, where
+  // max_len = kappa + tau - 1 >= lp = kappa).
+  for (int j = 0; j <= region_len; ++j) best = std::min(best, prev[j]);
+  return best;
+}
+
+uint64_t AlphabetMask(std::string_view s) {
+  uint64_t mask = 0;
+  for (char c : s) mask |= uint64_t{1} << (static_cast<unsigned char>(c) & 63);
+  return mask;
+}
+
+}  // namespace pigeonring::editdist

@@ -1,0 +1,172 @@
+#include "graphed/ged.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace pigeonring::graphed {
+
+namespace {
+
+int MultisetIntersection(std::map<int, int> a, const std::map<int, int>& b) {
+  int common = 0;
+  for (const auto& [key, count] : b) {
+    auto it = a.find(key);
+    if (it != a.end()) common += std::min(it->second, count);
+  }
+  return common;
+}
+
+// Branch-and-bound state: vertices of `a` are processed in a fixed order;
+// each is mapped to an unused vertex of `b` or deleted (-> epsilon). Costs
+// are charged incrementally; b-side leftovers are charged at the leaves.
+class GedSearch {
+ public:
+  GedSearch(const Graph& a, const Graph& b, int tau)
+      : a_(a), b_(b), tau_(tau), best_(tau + 1) {
+    order_.resize(a_.num_vertices());
+    for (int i = 0; i < a_.num_vertices(); ++i) order_[i] = i;
+    // High-degree vertices first: their edges constrain the search most.
+    std::sort(order_.begin(), order_.end(), [&](int x, int y) {
+      return a_.Degree(x) != a_.Degree(y) ? a_.Degree(x) > a_.Degree(y)
+                                          : x < y;
+    });
+    mapping_.assign(a_.num_vertices(), kUnprocessed);
+    used_.assign(b_.num_vertices(), false);
+  }
+
+  int Run() {
+    Dfs(0, 0, 0);
+    return best_;
+  }
+
+ private:
+  static constexpr int kUnprocessed = -2;
+  static constexpr int kEpsilon = -1;
+
+  // Lower bound for the unprocessed remainder: vertex-label multiset
+  // difference plus edge-count difference over edges with an unprocessed /
+  // unused endpoint.
+  int RemainderBound(int depth, int covered_b_edges) const {
+    std::map<int, int> la, lb;
+    int rem_a = 0;
+    for (int i = depth; i < a_.num_vertices(); ++i) {
+      ++la[a_.vertex_label(order_[i])];
+      ++rem_a;
+    }
+    int rem_b = 0;
+    for (int v = 0; v < b_.num_vertices(); ++v) {
+      if (!used_[v]) {
+        ++lb[b_.vertex_label(v)];
+        ++rem_b;
+      }
+    }
+    const int vertex_bound =
+        std::max(rem_a, rem_b) - MultisetIntersection(la, lb);
+    // Edges of `a` with at least one unprocessed endpoint.
+    int ra = 0;
+    for (const Edge& e : a_.edges()) {
+      if (mapping_[e.u] == kUnprocessed || mapping_[e.v] == kUnprocessed) {
+        ++ra;
+      }
+    }
+    const int rb = b_.num_edges() - covered_b_edges;
+    return vertex_bound + std::abs(ra - rb);
+  }
+
+  // Cost of mapping vertex u (order_[depth]) to v (or kEpsilon), against
+  // all previously processed vertices. Also returns how many new b-edges
+  // became covered.
+  int AssignmentCost(int depth, int u, int v, int* newly_covered) const {
+    int cost = 0;
+    *newly_covered = 0;
+    if (v == kEpsilon) {
+      cost += 1;  // delete u (isolated after removing its edges)
+      for (int i = 0; i < depth; ++i) {
+        const int w = order_[i];
+        if (a_.HasEdge(u, w)) cost += 1;  // delete edge (u, w)
+      }
+      return cost;
+    }
+    if (a_.vertex_label(u) != b_.vertex_label(v)) cost += 1;
+    for (int i = 0; i < depth; ++i) {
+      const int w = order_[i];
+      const int wv = mapping_[w];
+      const int ea = a_.EdgeLabel(u, w);
+      const int eb = wv == kEpsilon ? -1 : b_.EdgeLabel(v, wv);
+      if (eb >= 0) ++*newly_covered;
+      if (ea >= 0 && eb >= 0) {
+        if (ea != eb) cost += 1;  // relabel edge
+      } else if (ea >= 0 || eb >= 0) {
+        cost += 1;  // delete or insert edge
+      }
+    }
+    return cost;
+  }
+
+  void Dfs(int depth, int cost_so_far, int covered_b_edges) {
+    if (cost_so_far >= best_) return;
+    if (depth == a_.num_vertices()) {
+      // Leftover b vertices are insertions; leftover b edges likewise.
+      int total = cost_so_far;
+      for (int v = 0; v < b_.num_vertices(); ++v) total += used_[v] ? 0 : 1;
+      total += b_.num_edges() - covered_b_edges;
+      best_ = std::min(best_, total);
+      return;
+    }
+    if (cost_so_far + RemainderBound(depth, covered_b_edges) >= best_) return;
+    const int u = order_[depth];
+    // Try label-matching images first (cheapest usually wins early).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int v = 0; v < b_.num_vertices(); ++v) {
+        if (used_[v]) continue;
+        const bool label_match = a_.vertex_label(u) == b_.vertex_label(v);
+        if (pass == 0 ? !label_match : label_match) continue;
+        int newly_covered = 0;
+        const int cost = AssignmentCost(depth, u, v, &newly_covered);
+        mapping_[u] = v;
+        used_[v] = true;
+        Dfs(depth + 1, cost_so_far + cost, covered_b_edges + newly_covered);
+        used_[v] = false;
+        mapping_[u] = kUnprocessed;
+      }
+    }
+    // Delete u.
+    int newly_covered = 0;
+    const int cost = AssignmentCost(depth, u, kEpsilon, &newly_covered);
+    mapping_[u] = kEpsilon;
+    Dfs(depth + 1, cost_so_far + cost, covered_b_edges);
+    mapping_[u] = kUnprocessed;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  const int tau_;
+  int best_;
+  std::vector<int> order_;
+  std::vector<int> mapping_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+int LabelLowerBound(const Graph& a, const Graph& b) {
+  std::map<int, int> va, vb, ea, eb;
+  for (int v = 0; v < a.num_vertices(); ++v) ++va[a.vertex_label(v)];
+  for (int v = 0; v < b.num_vertices(); ++v) ++vb[b.vertex_label(v)];
+  for (const Edge& e : a.edges()) ++ea[e.label];
+  for (const Edge& e : b.edges()) ++eb[e.label];
+  const int vertex_bound = std::max(a.num_vertices(), b.num_vertices()) -
+                           MultisetIntersection(va, vb);
+  const int edge_bound =
+      std::max(a.num_edges(), b.num_edges()) - MultisetIntersection(ea, eb);
+  return vertex_bound + edge_bound;
+}
+
+int GraphEditDistanceWithin(const Graph& a, const Graph& b, int tau) {
+  if (tau < 0) return 1;
+  if (LabelLowerBound(a, b) > tau) return tau + 1;
+  return GedSearch(a, b, tau).Run();
+}
+
+}  // namespace pigeonring::graphed

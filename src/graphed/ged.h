@@ -1,0 +1,31 @@
+// Exact graph edit distance with threshold (the verifier of §6.4).
+//
+// Unit-cost operations, matching the paper's definition: insert an isolated
+// labeled vertex, delete an isolated vertex (deleting a connected vertex
+// therefore costs 1 + degree), change a vertex label, insert a labeled
+// edge, delete an edge, change an edge label.
+//
+// Depth-first branch-and-bound over vertex mappings with an admissible
+// label-multiset lower bound, aborting as soon as the bound exceeds tau.
+// Exponential in the worst case, but the thresholded similar-pair workloads
+// this library verifies (tau <= ~5, graphs of a few dozen vertices after
+// filtering) keep the search shallow.
+
+#ifndef PIGEONRING_GRAPHED_GED_H_
+#define PIGEONRING_GRAPHED_GED_H_
+
+#include "graphed/graph.h"
+
+namespace pigeonring::graphed {
+
+/// Returns ged(a, b) if it is <= tau, otherwise any value > tau.
+int GraphEditDistanceWithin(const Graph& a, const Graph& b, int tau);
+
+/// Admissible lower bound on ged(a, b) from vertex/edge label multisets:
+/// max(|V_a|,|V_b|) - |label multiset intersection| plus the analogous edge
+/// term. Used for pruning and as a cheap pre-filter.
+int LabelLowerBound(const Graph& a, const Graph& b);
+
+}  // namespace pigeonring::graphed
+
+#endif  // PIGEONRING_GRAPHED_GED_H_

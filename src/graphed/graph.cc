@@ -1,0 +1,29 @@
+#include "graphed/graph.h"
+
+#include <algorithm>
+
+namespace pigeonring::graphed {
+
+void Graph::AddEdge(int u, int v, int label) {
+  PR_CHECK(u >= 0 && u < num_vertices());
+  PR_CHECK(v >= 0 && v < num_vertices());
+  PR_CHECK_MSG(u != v, "self-loops are not supported");
+  PR_CHECK_MSG(!HasEdge(u, v), "duplicate edge (%d, %d)", u, v);
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, label});
+  adjacency_[u].emplace_back(v, label);
+  adjacency_[v].emplace_back(u, label);
+}
+
+int Graph::EdgeLabel(int u, int v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() ||
+      u >= static_cast<int>(adjacency_.size())) {
+    return -1;
+  }
+  for (const auto& [w, label] : adjacency_[u]) {
+    if (w == v) return label;
+  }
+  return -1;
+}
+
+}  // namespace pigeonring::graphed

@@ -1,0 +1,72 @@
+// Labeled undirected graphs for graph edit distance search (§6.4).
+
+#ifndef PIGEONRING_GRAPHED_GRAPH_H_
+#define PIGEONRING_GRAPHED_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring::graphed {
+
+/// An undirected labeled edge between vertices u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  int label = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// An undirected graph with integer vertex and edge labels. Vertex label
+/// kWildcardLabel matches any label in subgraph-isomorphism tests (used by
+/// the deletion neighborhood of §6.4).
+class Graph {
+ public:
+  static constexpr int kWildcardLabel = -1;
+
+  Graph() = default;
+  explicit Graph(std::vector<int> vertex_labels)
+      : vertex_labels_(std::move(vertex_labels)),
+        adjacency_(vertex_labels_.size()) {}
+
+  int num_vertices() const { return static_cast<int>(vertex_labels_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int vertex_label(int v) const { return vertex_labels_[v]; }
+  void set_vertex_label(int v, int label) { vertex_labels_[v] = label; }
+  const std::vector<int>& vertex_labels() const { return vertex_labels_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Appends a vertex with the given label; returns its index.
+  int AddVertex(int label) {
+    vertex_labels_.push_back(label);
+    adjacency_.emplace_back();
+    return num_vertices() - 1;
+  }
+
+  /// Adds an undirected edge (u, v) with `label`. Self-loops and duplicate
+  /// edges are programmer errors.
+  void AddEdge(int u, int v, int label);
+
+  /// Returns the edge label of (u, v), or -1 if absent. O(deg).
+  int EdgeLabel(int u, int v) const;
+
+  bool HasEdge(int u, int v) const { return EdgeLabel(u, v) >= 0; }
+
+  /// Neighbors of v as (neighbor, edge label) pairs.
+  const std::vector<std::pair<int, int>>& Neighbors(int v) const {
+    return adjacency_[v];
+  }
+
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+ private:
+  std::vector<int> vertex_labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<int, int>>> adjacency_;
+};
+
+}  // namespace pigeonring::graphed
+
+#endif  // PIGEONRING_GRAPHED_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "graphed/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/random.h"
+
+namespace pigeonring::graphed {
+
+std::vector<Part> PartitionGraph(const Graph& g, int num_parts,
+                                 uint64_t seed) {
+  PR_CHECK(num_parts >= 1);
+  const int n = g.num_vertices();
+  Rng rng(seed);
+  // Assign vertices to parts in balanced, BFS-connected chunks.
+  std::vector<int> part_of(n, -1);
+  std::vector<int> part_size(num_parts, 0);
+  // Target sizes differ by at most one.
+  std::vector<int> target(num_parts, n / num_parts);
+  for (int p = 0; p < n % num_parts; ++p) ++target[p];
+
+  int current = 0;
+  std::deque<int> frontier;
+  std::vector<int> unassigned;
+  for (int v = 0; v < n; ++v) unassigned.push_back(v);
+  rng.Shuffle(unassigned);
+  size_t scan = 0;
+  while (current < num_parts) {
+    if (part_size[current] >= target[current]) {
+      ++current;
+      frontier.clear();
+      continue;
+    }
+    int v = -1;
+    if (!frontier.empty()) {
+      v = frontier.front();
+      frontier.pop_front();
+      if (part_of[v] != -1) continue;
+    } else {
+      while (scan < unassigned.size() && part_of[unassigned[scan]] != -1) {
+        ++scan;
+      }
+      if (scan >= unassigned.size()) break;
+      v = unassigned[scan];
+    }
+    part_of[v] = current;
+    ++part_size[current];
+    for (const auto& [w, label] : g.Neighbors(v)) {
+      (void)label;
+      if (part_of[w] == -1) frontier.push_back(w);
+    }
+  }
+  // Any stragglers (possible only if targets were met early) go to the last
+  // part.
+  for (int v = 0; v < n; ++v) {
+    if (part_of[v] == -1) part_of[v] = num_parts - 1;
+  }
+
+  // Materialize parts.
+  std::vector<Part> parts(num_parts);
+  std::vector<int> local_index(n, -1);
+  for (int v = 0; v < n; ++v) {
+    local_index[v] = parts[part_of[v]].graph.AddVertex(g.vertex_label(v));
+  }
+  for (const Edge& e : g.edges()) {
+    const int pu = part_of[e.u], pv = part_of[e.v];
+    if (pu == pv) {
+      parts[pu].graph.AddEdge(local_index[e.u], local_index[e.v], e.label);
+    } else if (pu < pv) {
+      parts[pu].half_edges.emplace_back(local_index[e.u], e.label);
+    } else {
+      parts[pv].half_edges.emplace_back(local_index[e.v], e.label);
+    }
+  }
+  return parts;
+}
+
+}  // namespace pigeonring::graphed

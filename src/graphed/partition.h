@@ -1,0 +1,45 @@
+// Graph partitioning for the Pars filter (§6.4).
+//
+// A data graph is divided into m = tau + 1 disjoint parts. Each vertex
+// belongs to exactly one part; an edge whose endpoints fall in the same part
+// becomes an internal edge of that part; a cross edge contributes a
+// *half-edge* (incident label) to exactly one of its endpoint parts, so
+// every edit operation on the data graph touches at most one part and the
+// per-part minimum edit distances sum to at most ged(x, q) (the instance is
+// complete).
+
+#ifndef PIGEONRING_GRAPHED_PARTITION_H_
+#define PIGEONRING_GRAPHED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graphed/graph.h"
+
+namespace pigeonring::graphed {
+
+/// One part of a partitioned data graph: a small labeled graph plus
+/// half-edges (a local endpoint and an edge label) toward other parts.
+struct Part {
+  Graph graph;  // local vertices and internal edges
+  std::vector<std::pair<int, int>> half_edges;  // (local vertex, label)
+
+  /// Number of components that deletion-neighborhood operations can remove:
+  /// internal edges + half-edges + vertices.
+  int Size() const {
+    return graph.num_vertices() + graph.num_edges() +
+           static_cast<int>(half_edges.size());
+  }
+};
+
+/// Partitions `g` into `num_parts` disjoint parts with balanced vertex
+/// counts, grown as connected chunks by BFS where possible (connected parts
+/// are more selective). Deterministic in `seed` (used to pick BFS roots).
+/// Each cross edge's half-edge is assigned to the endpoint whose part has
+/// the smaller index.
+std::vector<Part> PartitionGraph(const Graph& g, int num_parts,
+                                 uint64_t seed);
+
+}  // namespace pigeonring::graphed
+
+#endif  // PIGEONRING_GRAPHED_PARTITION_H_

@@ -1,0 +1,159 @@
+#include "graphed/subiso.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace pigeonring::graphed {
+
+namespace {
+
+// Per part vertex: required incident edge labels (internal + half-edges).
+std::vector<std::map<int, int>> RequiredIncidentLabels(const Part& part) {
+  std::vector<std::map<int, int>> need(part.graph.num_vertices());
+  for (const Edge& e : part.graph.edges()) {
+    ++need[e.u][e.label];
+    ++need[e.v][e.label];
+  }
+  for (const auto& [v, label] : part.half_edges) ++need[v][label];
+  return need;
+}
+
+class SubIsoSearch {
+ public:
+  SubIsoSearch(const Part& part, const Graph& query)
+      : part_(part), query_(query), need_(RequiredIncidentLabels(part)) {
+    const int n = part_.graph.num_vertices();
+    // Order part vertices: most-constrained (highest degree + half count)
+    // first, then by connectivity to already-ordered vertices.
+    order_.reserve(n);
+    std::vector<bool> placed(n, false);
+    for (int step = 0; step < n; ++step) {
+      int best = -1, best_score = -1;
+      for (int v = 0; v < n; ++v) {
+        if (placed[v]) continue;
+        int score = 3 * Connectivity(v, placed) + part_.graph.Degree(v);
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      placed[best] = true;
+      order_.push_back(best);
+    }
+    mapping_.assign(n, -1);
+    used_.assign(query_.num_vertices(), false);
+  }
+
+  bool Run() { return Dfs(0); }
+
+ private:
+  int Connectivity(int v, const std::vector<bool>& placed) const {
+    int c = 0;
+    for (const auto& [w, label] : part_.graph.Neighbors(v)) {
+      (void)label;
+      if (placed[w]) ++c;
+    }
+    return c;
+  }
+
+  bool Feasible(int u, int image) const {
+    const int ul = part_.graph.vertex_label(u);
+    if (ul != Graph::kWildcardLabel && ul != query_.vertex_label(image)) {
+      return false;
+    }
+    // Label-degree coverage: image must offer enough incident edges per
+    // label for u's internal edges and half-edges.
+    if (!need_[u].empty()) {
+      std::map<int, int> have;
+      for (const auto& [w, label] : query_.Neighbors(image)) {
+        (void)w;
+        ++have[label];
+      }
+      for (const auto& [label, count] : need_[u]) {
+        auto it = have.find(label);
+        if (it == have.end() || it->second < count) return false;
+      }
+    }
+    // Mapped internal edges must exist with matching labels.
+    for (const auto& [w, label] : part_.graph.Neighbors(u)) {
+      if (mapping_[w] < 0) continue;
+      if (query_.EdgeLabel(image, mapping_[w]) != label) return false;
+    }
+    return true;
+  }
+
+  bool Dfs(size_t depth) {
+    if (depth == order_.size()) return true;
+    const int u = order_[depth];
+    for (int image = 0; image < query_.num_vertices(); ++image) {
+      if (used_[image]) continue;
+      if (!Feasible(u, image)) continue;
+      mapping_[u] = image;
+      used_[image] = true;
+      if (Dfs(depth + 1)) return true;
+      used_[image] = false;
+      mapping_[u] = -1;
+    }
+    return false;
+  }
+
+  const Part& part_;
+  const Graph& query_;
+  std::vector<std::map<int, int>> need_;
+  std::vector<int> order_;
+  std::vector<int> mapping_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+bool PartLabelsContained(const Part& part, const Graph& query) {
+  if (part.graph.num_vertices() > query.num_vertices()) return false;
+  std::map<int, int> vneed, vhave, eneed, ehave;
+  int wildcards = 0;
+  for (int v = 0; v < part.graph.num_vertices(); ++v) {
+    const int label = part.graph.vertex_label(v);
+    if (label == Graph::kWildcardLabel) {
+      ++wildcards;
+    } else {
+      ++vneed[label];
+    }
+  }
+  for (int v = 0; v < query.num_vertices(); ++v) {
+    ++vhave[query.vertex_label(v)];
+  }
+  int missing = 0;
+  for (const auto& [label, count] : vneed) {
+    auto it = vhave.find(label);
+    const int have = it == vhave.end() ? 0 : it->second;
+    missing += std::max(0, count - have);
+  }
+  if (missing > 0) return false;
+  (void)wildcards;  // wildcards match anything; containment already implied
+  for (const Edge& e : part.graph.edges()) ++eneed[e.label];
+  // Two half-edges may be satisfied by the two endpoints of one query edge,
+  // so they only demand ceil(count / 2) query edges per label.
+  std::map<int, int> half_need;
+  for (const auto& [v, label] : part.half_edges) {
+    (void)v;
+    ++half_need[label];
+  }
+  for (const auto& [label, count] : half_need) {
+    eneed[label] += (count + 1) / 2;
+  }
+  for (const Edge& e : query.edges()) ++ehave[e.label];
+  for (const auto& [label, count] : eneed) {
+    auto it = ehave.find(label);
+    if (it == ehave.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+bool PartSubgraphIsomorphic(const Part& part, const Graph& query) {
+  if (part.graph.num_vertices() == 0) return true;
+  if (part.graph.num_vertices() > query.num_vertices()) return false;
+  return SubIsoSearch(part, query).Run();
+}
+
+}  // namespace pigeonring::graphed

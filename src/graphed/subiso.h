@@ -1,0 +1,31 @@
+// Subgraph isomorphism test for parts (§6.4).
+//
+// Tests whether a part (a small labeled graph with optional wildcard vertex
+// labels and half-edges) is subgraph-isomorphic to a query graph. The test
+// is a *necessary condition* used as a filter (b_i = 0 check and deletion
+// neighborhood), so the half-edge semantics are a sound relaxation: each
+// part vertex's image must have enough incident edges per label to cover
+// both its mapped internal edges and its half-edge labels, but two
+// half-edges from different part vertices may be satisfied by the same
+// query edge (this only admits more matches, never misses one).
+
+#ifndef PIGEONRING_GRAPHED_SUBISO_H_
+#define PIGEONRING_GRAPHED_SUBISO_H_
+
+#include "graphed/partition.h"
+
+namespace pigeonring::graphed {
+
+/// Returns true if `part` is subgraph-isomorphic to `query` (with wildcard
+/// vertex labels matching anything and relaxed half-edge coverage).
+bool PartSubgraphIsomorphic(const Part& part, const Graph& query);
+
+/// Cheap necessary condition checked before the backtracking search: the
+/// part's concrete vertex-label multiset and edge-label multiset (internal
+/// + half) must be contained in the query's. Exposed for the searcher's
+/// pre-filter and for tests.
+bool PartLabelsContained(const Part& part, const Graph& query);
+
+}  // namespace pigeonring::graphed
+
+#endif  // PIGEONRING_GRAPHED_SUBISO_H_

@@ -1,0 +1,78 @@
+#include "hamming/index.h"
+
+namespace pigeonring::hamming {
+
+namespace {
+
+// Recursively enumerates combinations of `remaining` flip positions chosen
+// from [next_bit, width).
+void EnumerateFlips(uint64_t current, int width, int next_bit, int remaining,
+                    const std::function<void(uint64_t)>& fn) {
+  if (remaining == 0) {
+    fn(current);
+    return;
+  }
+  // Prune: not enough bits left to place the remaining flips.
+  for (int b = next_bit; b <= width - remaining; ++b) {
+    EnumerateFlips(current ^ (uint64_t{1} << b), width, b + 1, remaining - 1,
+                   fn);
+  }
+}
+
+}  // namespace
+
+void ForEachKeyAtRadius(uint64_t base, int width, int radius,
+                        const std::function<void(uint64_t)>& fn) {
+  PR_CHECK(0 <= radius && radius <= width && width <= 64);
+  EnumerateFlips(base, width, 0, radius, fn);
+}
+
+PartitionIndex::PartitionIndex(const std::vector<BitVector>& objects,
+                               Partition partition)
+    : partition_(std::move(partition)),
+      num_objects_(static_cast<int>(objects.size())),
+      part_buckets_(partition_.num_parts()) {
+  for (int id = 0; id < num_objects_; ++id) {
+    PR_CHECK(objects[id].dimensions() == partition_.dimensions());
+    for (int p = 0; p < partition_.num_parts(); ++p) {
+      const uint64_t key =
+          objects[id].ExtractBits(partition_.begin(p), partition_.end(p));
+      part_buckets_[p][key].push_back(id);
+    }
+  }
+}
+
+void PartitionIndex::ProbeAtRadius(const BitVector& query, int part,
+                                   int radius,
+                                   const std::function<void(int, int)>& fn)
+    const {
+  PR_CHECK(part >= 0 && part < partition_.num_parts());
+  const int width = partition_.width(part);
+  if (radius > width) return;
+  const uint64_t base =
+      query.ExtractBits(partition_.begin(part), partition_.end(part));
+  const Buckets& buckets = part_buckets_[part];
+  ForEachKeyAtRadius(base, width, radius, [&](uint64_t key) {
+    auto it = buckets.find(key);
+    if (it == buckets.end()) return;
+    for (int id : it->second) fn(id, radius);
+  });
+}
+
+int64_t PartitionIndex::CountAtRadius(const BitVector& query, int part,
+                                      int radius) const {
+  PR_CHECK(part >= 0 && part < partition_.num_parts());
+  const int width = partition_.width(part);
+  if (radius > width) return 0;
+  const uint64_t base =
+      query.ExtractBits(partition_.begin(part), partition_.end(part));
+  const Buckets& buckets = part_buckets_[part];
+  int64_t total = 0;
+  ForEachKeyAtRadius(base, width, radius, [&](uint64_t key) {
+    auto it = buckets.find(key);
+    if (it != buckets.end()) total += static_cast<int64_t>(it->second.size());
+  });
+  return total;
+}
+
+}  // namespace pigeonring::hamming

@@ -1,0 +1,61 @@
+// Per-part hash index for Hamming distance search (the GPH index, §6.1/§7).
+//
+// For each part of the partition, a hash table maps the part's bit pattern
+// to the list of object ids holding that pattern. A query probes part i by
+// enumerating all patterns within t_i bit flips of the query's pattern
+// (ordered by exact flip count, so the exact per-part distance of each hit
+// is known for free). This is the same index the pigeonhole baseline (GPH)
+// uses; the pigeonring upgrade only adds the chain check on top (§7).
+
+#ifndef PIGEONRING_HAMMING_INDEX_H_
+#define PIGEONRING_HAMMING_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "hamming/partition.h"
+
+namespace pigeonring::hamming {
+
+/// Enumerates every `width`-bit pattern at Hamming distance exactly `radius`
+/// from `base`, invoking `fn(pattern)` for each. Patterns are visited in a
+/// deterministic order. Requires 0 <= radius <= width <= 64.
+void ForEachKeyAtRadius(uint64_t base, int width, int radius,
+                        const std::function<void(uint64_t)>& fn);
+
+/// The per-part inverted index.
+class PartitionIndex {
+ public:
+  /// Indexes `objects` (which must all have `partition.dimensions()`
+  /// dimensions) under `partition`. O(N * m).
+  PartitionIndex(const std::vector<BitVector>& objects,
+                 Partition partition);
+
+  const Partition& partition() const { return partition_; }
+  int num_objects() const { return num_objects_; }
+
+  /// Invokes `fn(id, distance)` for every object whose part-`part` pattern
+  /// is at Hamming distance exactly `radius` from the query's pattern.
+  void ProbeAtRadius(const BitVector& query, int part, int radius,
+                     const std::function<void(int, int)>& fn) const;
+
+  /// Returns the total number of postings within `radius` flips of the
+  /// query's part-`part` pattern at distance exactly `radius` (the marginal
+  /// cost of raising this part's threshold from radius-1 to radius). Used by
+  /// the greedy threshold allocator.
+  int64_t CountAtRadius(const BitVector& query, int part, int radius) const;
+
+ private:
+  using Buckets = std::unordered_map<uint64_t, std::vector<int>>;
+
+  Partition partition_;
+  int num_objects_;
+  std::vector<Buckets> part_buckets_;  // one hash table per part
+};
+
+}  // namespace pigeonring::hamming
+
+#endif  // PIGEONRING_HAMMING_INDEX_H_

@@ -1,0 +1,18 @@
+#include "hamming/partition.h"
+
+namespace pigeonring::hamming {
+
+Partition Partition::EquiWidth(int dimensions, int num_parts) {
+  PR_CHECK(num_parts >= 1 && num_parts <= dimensions);
+  PR_CHECK_MSG((dimensions + num_parts - 1) / num_parts <= 64,
+               "part width exceeds 64 bits (d=%d, m=%d)", dimensions,
+               num_parts);
+  std::vector<int> bounds(num_parts + 1);
+  for (int i = 0; i <= num_parts; ++i) {
+    bounds[i] = static_cast<int>(
+        (static_cast<long long>(dimensions) * i) / num_parts);
+  }
+  return Partition(dimensions, std::move(bounds));
+}
+
+}  // namespace pigeonring::hamming

@@ -1,0 +1,50 @@
+// Dimension partitioning for Hamming distance search (§6.1).
+//
+// The d dimensions are split into m disjoint contiguous parts; part i covers
+// dimensions [begin(i), end(i)). The per-part Hamming distance is the box
+// value b_i(x, q) of the §6.1 filtering instance.
+
+#ifndef PIGEONRING_HAMMING_PARTITION_H_
+#define PIGEONRING_HAMMING_PARTITION_H_
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pigeonring::hamming {
+
+/// An equi-width (up to rounding) partition of d dimensions into m parts.
+class Partition {
+ public:
+  /// Splits `dimensions` into `num_parts` contiguous parts whose widths
+  /// differ by at most one. Requires 1 <= num_parts <= dimensions and part
+  /// width <= 64 (parts are used as hash keys).
+  static Partition EquiWidth(int dimensions, int num_parts);
+
+  int dimensions() const { return dimensions_; }
+  int num_parts() const { return static_cast<int>(bounds_.size()) - 1; }
+
+  /// First dimension of part i.
+  int begin(int i) const {
+    PR_CHECK(i >= 0 && i < num_parts());
+    return bounds_[i];
+  }
+  /// One past the last dimension of part i.
+  int end(int i) const {
+    PR_CHECK(i >= 0 && i < num_parts());
+    return bounds_[i + 1];
+  }
+  /// Number of dimensions in part i.
+  int width(int i) const { return end(i) - begin(i); }
+
+ private:
+  Partition(int dimensions, std::vector<int> bounds)
+      : dimensions_(dimensions), bounds_(std::move(bounds)) {}
+
+  int dimensions_;
+  std::vector<int> bounds_;  // num_parts + 1 boundaries
+};
+
+}  // namespace pigeonring::hamming
+
+#endif  // PIGEONRING_HAMMING_PARTITION_H_

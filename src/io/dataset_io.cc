@@ -1,0 +1,204 @@
+#include "io/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pigeonring::io {
+
+namespace {
+
+Status OpenError(const std::string& path) {
+  return Status::NotFound("cannot open " + path);
+}
+
+Status LineError(const std::string& path, int line,
+                 const std::string& message) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line) + ": " +
+                                 message);
+}
+
+}  // namespace
+
+Status SaveBitVectors(const std::string& path,
+                      const std::vector<BitVector>& vectors) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  const int d = vectors.empty() ? 0 : vectors.front().dimensions();
+  out << d << "\n";
+  for (const BitVector& v : vectors) {
+    if (v.dimensions() != d) {
+      return Status::InvalidArgument(
+          "all vectors must share one dimensionality");
+    }
+    out << v.ToString() << "\n";
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<std::vector<BitVector>> LoadBitVectors(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return LineError(path, 1, "missing dimensionality header");
+  }
+  int d = 0;
+  try {
+    d = std::stoi(line);
+  } catch (...) {
+    return LineError(path, 1, "bad dimensionality: " + line);
+  }
+  if (d < 0) return LineError(path, 1, "negative dimensionality");
+  std::vector<BitVector> vectors;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() && d > 0) continue;  // tolerate trailing blank lines
+    if (static_cast<int>(line.size()) != d) {
+      return LineError(path, line_no, "expected " + std::to_string(d) +
+                                          " bits, got " +
+                                          std::to_string(line.size()));
+    }
+    for (char c : line) {
+      if (c != '0' && c != '1') {
+        return LineError(path, line_no, "invalid bit character");
+      }
+    }
+    vectors.push_back(BitVector::FromString(line));
+  }
+  return vectors;
+}
+
+Status SaveTokenSets(const std::string& path,
+                     const std::vector<std::vector<int>>& sets) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  for (const auto& set : sets) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      out << (i == 0 ? "" : " ") << set[i];
+    }
+    out << "\n";
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<std::vector<std::vector<int>>> LoadTokenSets(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  std::vector<std::vector<int>> sets;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<int> set;
+    std::istringstream fields(line);
+    long long token;
+    while (fields >> token) {
+      if (token < 0) return LineError(path, line_no, "negative token id");
+      set.push_back(static_cast<int>(token));
+    }
+    if (!fields.eof()) {
+      return LineError(path, line_no, "non-integer token");
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+Status SaveStrings(const std::string& path,
+                   const std::vector<std::string>& strings) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  for (const std::string& s : strings) {
+    if (s.find('\n') != std::string::npos) {
+      return Status::InvalidArgument(
+          "strings with embedded newlines are unsupported");
+    }
+    out << s << "\n";
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<std::vector<std::string>> LoadStrings(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  std::vector<std::string> strings;
+  std::string line;
+  while (std::getline(in, line)) strings.push_back(line);
+  return strings;
+}
+
+Status SaveGraphs(const std::string& path,
+                  const std::vector<graphed::Graph>& graphs) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  for (const graphed::Graph& g : graphs) {
+    out << "g " << g.num_vertices() << " " << g.num_edges() << "\n";
+    out << "v";
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      out << " " << g.vertex_label(v);
+    }
+    out << "\n";
+    for (const graphed::Edge& e : g.edges()) {
+      out << "e " << e.u << " " << e.v << " " << e.label << "\n";
+    }
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<std::vector<graphed::Graph>> LoadGraphs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  std::vector<graphed::Graph> graphs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string tag;
+    int num_vertices = 0, num_edges = 0;
+    if (!(header >> tag >> num_vertices >> num_edges) || tag != "g" ||
+        num_vertices < 0 || num_edges < 0) {
+      return LineError(path, line_no, "expected 'g <vertices> <edges>'");
+    }
+    if (!std::getline(in, line)) {
+      return LineError(path, line_no + 1, "missing vertex label line");
+    }
+    ++line_no;
+    std::istringstream labels_in(line);
+    if (!(labels_in >> tag) || tag != "v") {
+      return LineError(path, line_no, "expected 'v <labels...>'");
+    }
+    std::vector<int> labels(num_vertices);
+    for (int v = 0; v < num_vertices; ++v) {
+      if (!(labels_in >> labels[v])) {
+        return LineError(path, line_no, "expected " +
+                                            std::to_string(num_vertices) +
+                                            " vertex labels");
+      }
+    }
+    graphed::Graph g(std::move(labels));
+    for (int e = 0; e < num_edges; ++e) {
+      if (!std::getline(in, line)) {
+        return LineError(path, line_no + 1, "missing edge line");
+      }
+      ++line_no;
+      std::istringstream edge_in(line);
+      int u = 0, v = 0, label = 0;
+      if (!(edge_in >> tag >> u >> v >> label) || tag != "e") {
+        return LineError(path, line_no, "expected 'e <u> <v> <label>'");
+      }
+      if (u < 0 || v < 0 || u >= num_vertices || v >= num_vertices ||
+          u == v || g.HasEdge(u, v)) {
+        return LineError(path, line_no, "invalid edge");
+      }
+      g.AddEdge(u, v, label);
+    }
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+}  // namespace pigeonring::io

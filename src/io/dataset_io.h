@@ -1,0 +1,50 @@
+// Plain-text dataset serialization so users can run the searchers on their
+// own data (and persist generated workloads for reproducible experiments).
+//
+// Formats (one object per line unless noted):
+//  * binary vectors: first line "d" (dimensionality), then one '0'/'1'
+//    string of length d per vector;
+//  * token sets: one line of space-separated non-negative integers per set
+//    (an empty line is an empty set);
+//  * strings: one string per line (embedded newlines are unsupported);
+//  * graphs: blocks of the form
+//        g <num_vertices> <num_edges>
+//        v <label> ... (num_vertices labels on one line)
+//        e <u> <v> <label> (num_edges lines)
+//    separated by nothing; "g 0 0" encodes the empty graph.
+//
+// All loaders validate their input and return Status errors with line
+// context rather than aborting.
+
+#ifndef PIGEONRING_IO_DATASET_IO_H_
+#define PIGEONRING_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "graphed/graph.h"
+
+namespace pigeonring::io {
+
+Status SaveBitVectors(const std::string& path,
+                      const std::vector<BitVector>& vectors);
+StatusOr<std::vector<BitVector>> LoadBitVectors(const std::string& path);
+
+Status SaveTokenSets(const std::string& path,
+                     const std::vector<std::vector<int>>& sets);
+StatusOr<std::vector<std::vector<int>>> LoadTokenSets(
+    const std::string& path);
+
+Status SaveStrings(const std::string& path,
+                   const std::vector<std::string>& strings);
+StatusOr<std::vector<std::string>> LoadStrings(const std::string& path);
+
+Status SaveGraphs(const std::string& path,
+                  const std::vector<graphed::Graph>& graphs);
+StatusOr<std::vector<graphed::Graph>> LoadGraphs(const std::string& path);
+
+}  // namespace pigeonring::io
+
+#endif  // PIGEONRING_IO_DATASET_IO_H_

@@ -1,0 +1,55 @@
+#include "setsim/prefix.h"
+
+#include <algorithm>
+
+namespace pigeonring::setsim {
+
+int PrefixInfo::ChainBound(int start, int len) const {
+  const int m = static_cast<int>(class_threshold.size());  // includes box 0
+  int sum = 0;
+  for (int offset = 0; offset < len; ++offset) {
+    const int box = (start + offset) % m;
+    sum += box == 0 ? suffix_threshold : class_threshold[box];
+  }
+  return sum + 1 - len;
+}
+
+PrefixInfo ComputePrefixInfo(const RankedSet& tokens, int o,
+                             int num_classes) {
+  PR_CHECK(o >= 1);
+  PR_CHECK(num_classes >= 1);
+  const int size = static_cast<int>(tokens.size());
+  PrefixInfo info;
+  info.class_count.assign(num_classes + 1, 0);
+  info.class_threshold.assign(num_classes + 1, 0);
+
+  const int target = size - o + 1;  // signature units needed
+  int units = 0;
+  int p = 0;
+  while (p < size && units < target) {
+    const int k = TokenClass(tokens[p], num_classes);
+    ++info.class_count[k];
+    if (info.class_count[k] >= k) ++units;
+    ++p;
+  }
+  info.prefix_length = p;
+  info.last_rank = p > 0 ? tokens[p - 1] : -1;
+  info.suffix_threshold = size - p + 1;
+
+  for (int k = 1; k <= num_classes; ++k) {
+    info.class_threshold[k] = std::min(k, info.class_count[k] + 1);
+  }
+  // Deficit reduction: if the whole record became the prefix without
+  // reaching the unit target, ||T||_1 exceeds o + m - 1 by the deficit;
+  // shave class thresholds down (floor 1) to restore it.
+  int deficit = target - units;
+  for (int k = 1; k <= num_classes && deficit > 0; ++k) {
+    const int cut = std::min(deficit, info.class_threshold[k] - 1);
+    info.class_threshold[k] -= cut;
+    deficit -= cut;
+  }
+  PR_CHECK_MSG(deficit <= 0, "unabsorbable prefix deficit: %d", deficit);
+  return info;
+}
+
+}  // namespace pigeonring::setsim

@@ -1,0 +1,123 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pigeonring {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector v(130);
+  EXPECT_EQ(v.dimensions(), 130);
+  EXPECT_EQ(v.CountOnes(), 0);
+  for (int i = 0; i < 130; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, SetGetFlipRoundTrip) {
+  BitVector v(200);
+  v.Set(0, true);
+  v.Set(63, true);
+  v.Set(64, true);
+  v.Set(199, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(199));
+  EXPECT_EQ(v.CountOnes(), 4);
+  v.Flip(63);
+  EXPECT_FALSE(v.Get(63));
+  v.Flip(63);
+  EXPECT_TRUE(v.Get(63));
+  v.Set(0, false);
+  EXPECT_FALSE(v.Get(0));
+}
+
+TEST(BitVectorTest, FromStringAndToStringRoundTrip) {
+  const std::string bits = "0110100111010001";
+  BitVector v = BitVector::FromString(bits);
+  EXPECT_EQ(v.ToString(), bits);
+  EXPECT_EQ(v.CountOnes(), 8);
+}
+
+TEST(BitVectorTest, HammingDistanceMatchesBitwiseDefinition) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int d = 1 + static_cast<int>(rng.NextBounded(300));
+    BitVector a(d), b(d);
+    int expected = 0;
+    for (int i = 0; i < d; ++i) {
+      const bool ba = rng.NextBernoulli(0.5);
+      const bool bb = rng.NextBernoulli(0.5);
+      a.Set(i, ba);
+      b.Set(i, bb);
+      expected += (ba != bb) ? 1 : 0;
+    }
+    EXPECT_EQ(a.HammingDistance(b), expected);
+    EXPECT_EQ(b.HammingDistance(a), expected);
+    EXPECT_EQ(a.HammingDistance(a), 0);
+  }
+}
+
+TEST(BitVectorTest, PartDistancesSumToFullDistance) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int d = 64 + static_cast<int>(rng.NextBounded(256));
+    BitVector a(d), b(d);
+    for (int i = 0; i < d; ++i) {
+      a.Set(i, rng.NextBernoulli(0.5));
+      b.Set(i, rng.NextBernoulli(0.5));
+    }
+    const int m = 1 + static_cast<int>(rng.NextBounded(8));
+    int sum = 0;
+    for (int p = 0; p < m; ++p) {
+      const int begin = p * d / m;
+      const int end = (p + 1) * d / m;
+      sum += a.PartDistance(b, begin, end);
+    }
+    EXPECT_EQ(sum, a.HammingDistance(b));
+  }
+}
+
+TEST(BitVectorTest, PartDistanceOnUnalignedRanges) {
+  BitVector a(256), b(256);
+  a.Set(70, true);
+  a.Set(130, true);
+  b.Set(70, true);
+  b.Set(131, true);
+  EXPECT_EQ(a.PartDistance(b, 65, 129), 0);
+  EXPECT_EQ(a.PartDistance(b, 129, 135), 2);
+  EXPECT_EQ(a.PartDistance(b, 130, 131), 1);
+  EXPECT_EQ(a.PartDistance(b, 0, 256), a.HammingDistance(b));
+  EXPECT_EQ(a.PartDistance(b, 100, 100), 0);
+}
+
+TEST(BitVectorTest, ExtractBitsMatchesManualAssembly) {
+  Rng rng(29);
+  const int d = 192;
+  BitVector v(d);
+  for (int i = 0; i < d; ++i) v.Set(i, rng.NextBernoulli(0.5));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int begin = static_cast<int>(rng.NextBounded(d));
+    const int width = static_cast<int>(rng.NextBounded(
+        std::min(64, d - begin) + 1));
+    const int end = begin + width;
+    uint64_t expected = 0;
+    for (int i = begin; i < end; ++i) {
+      if (v.Get(i)) expected |= uint64_t{1} << (i - begin);
+    }
+    EXPECT_EQ(v.ExtractBits(begin, end), expected)
+        << "begin=" << begin << " end=" << end;
+  }
+}
+
+TEST(BitVectorTest, EqualityComparesDimensionAndContent) {
+  BitVector a(64), b(64), c(65);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b.Set(3, true);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace pigeonring

@@ -1,0 +1,98 @@
+// Contract-violation (death) tests: programmer errors must trip PR_CHECK
+// loudly instead of corrupting state, and Status-returning factories must
+// reject invalid input without aborting.
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+#include "core/analysis.h"
+#include "core/principle.h"
+#include "core/threshold.h"
+#include "graphed/graph.h"
+#include "hamming/partition.h"
+#include "setsim/prefix.h"
+
+namespace pigeonring {
+namespace {
+
+using GTEST_DEATH_TEST_ = int;  // silences unused-typedef style checkers
+
+TEST(ContractsDeathTest, BitVectorIndexOutOfRange) {
+  BitVector v(8);
+  EXPECT_DEATH(v.Get(8), "PR_CHECK");
+  EXPECT_DEATH(v.Set(-1, true), "PR_CHECK");
+  BitVector w(16);
+  EXPECT_DEATH((void)v.HammingDistance(w), "PR_CHECK");
+  EXPECT_DEATH((void)v.PartDistance(v, 4, 2), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, RngRejectsZeroBound) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "PR_CHECK");
+  EXPECT_DEATH(rng.NextInRange(3, 2), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, PartitionRejectsBadShapes) {
+  EXPECT_DEATH(hamming::Partition::EquiWidth(10, 0), "PR_CHECK");
+  EXPECT_DEATH(hamming::Partition::EquiWidth(10, 11), "PR_CHECK");
+  // Part width above 64 bits is unsupported (hash-key representation).
+  EXPECT_DEATH(hamming::Partition::EquiWidth(256, 2), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, RingAndPrincipleArgumentChecks) {
+  const std::vector<double> boxes = {1, 2, 3};
+  core::Ring ring(boxes);
+  EXPECT_DEATH(ring.ChainSum(0, 4), "PR_CHECK");
+  EXPECT_DEATH(core::PrefixViableChainExists(boxes, 3.0, 0), "PR_CHECK");
+  EXPECT_DEATH(core::PrefixViableChainExists(boxes, 3.0, 4), "PR_CHECK");
+  const core::ThresholdSeq mismatched = core::ThresholdSeq::Uniform(3.0, 2);
+  EXPECT_DEATH(core::PigeonholeHolds(boxes, mismatched), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, GraphRejectsMalformedEdges) {
+  graphed::Graph g({1, 2});
+  g.AddEdge(0, 1, 0);
+  EXPECT_DEATH(g.AddEdge(0, 0, 1), "self-loops");
+  EXPECT_DEATH(g.AddEdge(1, 0, 2), "duplicate edge");
+  EXPECT_DEATH(g.AddEdge(0, 2, 0), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, PrefixInfoRequiresPositiveOverlap) {
+  EXPECT_DEATH(setsim::ComputePrefixInfo({1, 2, 3}, 0, 4), "PR_CHECK");
+}
+
+TEST(ContractsDeathTest, AnalysisRequiresSaneParameters) {
+  EXPECT_DEATH(core::FilterAnalysis(core::DiscretePmf{}, 4, 8.0),
+               "PR_CHECK");
+  core::FilterAnalysis analysis(core::DiscretePmf::UniformInt(0, 4), 4, 8.0);
+  EXPECT_DEATH(analysis.PrCand(0), "PR_CHECK");
+  EXPECT_DEATH(analysis.PrCand(5), "PR_CHECK");
+}
+
+TEST(ContractsTest, StatusFactoriesRejectWithoutAborting) {
+  // Data-dependent failures go through Status, never PR_CHECK.
+  EXPECT_FALSE(core::ThresholdSeq::Variable({1, 1}, 3.0).ok());
+  EXPECT_FALSE(core::ThresholdSeq::IntegerReduced({1, 1}, 9.0).ok());
+  EXPECT_EQ(core::ThresholdSeq::Variable({1, 1}, 3.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ContractsTest, StatusToStringFormats) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::Internal("y").code(), StatusCode::kInternal);
+}
+
+TEST(ContractsTest, StatusOrAccessors) {
+  StatusOr<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_TRUE(ok.status().ok());
+  StatusOr<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pigeonring

@@ -1,0 +1,197 @@
+// Tests for the §3.1 filtering-power analysis: closed-form recurrences
+// cross-checked against Monte-Carlo simulation, plus structural properties.
+
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/principle.h"
+
+namespace pigeonring::core {
+namespace {
+
+TEST(DiscretePmfTest, BinomialSumsToOneAndHasCorrectMean) {
+  const DiscretePmf pmf = DiscretePmf::Binomial(16, 0.5);
+  double total = 0, mean = 0;
+  for (size_t k = 0; k < pmf.p.size(); ++k) {
+    total += pmf.p[k];
+    mean += k * pmf.p[k];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mean, 8.0, 1e-12);
+  EXPECT_NEAR(pmf.p[8], 0.19638, 1e-4);
+}
+
+TEST(DiscretePmfTest, BinomialDegenerateCases) {
+  const DiscretePmf zero = DiscretePmf::Binomial(8, 0.0);
+  EXPECT_DOUBLE_EQ(zero.p[0], 1.0);
+  const DiscretePmf one = DiscretePmf::Binomial(8, 1.0);
+  EXPECT_DOUBLE_EQ(one.p[8], 1.0);
+}
+
+TEST(DiscretePmfTest, UniformIntIsFlat) {
+  const DiscretePmf pmf = DiscretePmf::UniformInt(2, 5);
+  EXPECT_DOUBLE_EQ(pmf.p[0], 0.0);
+  EXPECT_DOUBLE_EQ(pmf.p[2], 0.25);
+  EXPECT_DOUBLE_EQ(pmf.p[5], 0.25);
+}
+
+TEST(FilterAnalysisTest, PrCandAtLengthOneIsPigeonholePassRate) {
+  // At l = 1, Pr(CAND) = 1 - Pr(all boxes non-viable) = 1 - Pr(b > tau/m)^m.
+  const DiscretePmf pmf = DiscretePmf::UniformInt(0, 9);
+  const int m = 5;
+  const double tau = 10;  // per-box quota 2 -> viable iff b in {0,1,2}
+  FilterAnalysis analysis(pmf, m, tau);
+  const double p_nonviable = 0.7;
+  EXPECT_NEAR(analysis.PrCand(1), 1.0 - std::pow(p_nonviable, m), 1e-9);
+}
+
+TEST(FilterAnalysisTest, PrCandIsMonotonicallyNonIncreasingInChainLength) {
+  const DiscretePmf pmf = DiscretePmf::Binomial(16, 0.5);
+  const int m = 8;
+  FilterAnalysis analysis(pmf, m, 48);
+  double prev = 1.0;
+  for (int l = 1; l <= m; ++l) {
+    const double cand = analysis.PrCand(l);
+    EXPECT_LE(cand, prev + 1e-9) << "l=" << l;
+    EXPECT_GE(cand, 0.0);
+    prev = cand;
+  }
+}
+
+TEST(FilterAnalysisTest, PrCandAtFullLengthEqualsPrResult) {
+  // With l = m the strong-form candidates are exactly the results (§3).
+  const DiscretePmf pmf = DiscretePmf::Binomial(8, 0.5);
+  const int m = 4;
+  FilterAnalysis analysis(pmf, m, 12);
+  EXPECT_NEAR(analysis.PrCand(m), analysis.PrResult(), 1e-9);
+}
+
+TEST(FilterAnalysisTest, PrResultMatchesDirectConvolution) {
+  // m = 2 boxes, each uniform over 0..3, tau = 3: count pairs with sum <= 3:
+  // 10 of 16.
+  const DiscretePmf pmf = DiscretePmf::UniformInt(0, 3);
+  FilterAnalysis analysis(pmf, 2, 3);
+  EXPECT_NEAR(analysis.PrResult(), 10.0 / 16.0, 1e-12);
+}
+
+struct AnalysisCase {
+  int part_bits;
+  int m;
+  double tau;
+  int l;
+};
+
+class AnalysisMonteCarlo : public ::testing::TestWithParam<AnalysisCase> {};
+
+TEST_P(AnalysisMonteCarlo, ClosedFormMatchesSimulation) {
+  const auto [part_bits, m, tau, l] = GetParam();
+  const DiscretePmf pmf = DiscretePmf::Binomial(part_bits, 0.5);
+  FilterAnalysis analysis(pmf, m, tau);
+  const double closed = analysis.PrCand(l);
+  const int trials = 200000;
+  const MonteCarloEstimate mc =
+      EstimateByMonteCarlo(pmf, m, tau, l, trials, /*seed=*/99);
+  // Standard error of the simulation.
+  const double se = std::sqrt(std::max(closed * (1 - closed), 1e-6) / trials);
+  EXPECT_NEAR(mc.pr_cand, closed, 6 * se + 1e-4)
+      << "m=" << m << " tau=" << tau << " l=" << l;
+  EXPECT_NEAR(mc.pr_result, analysis.PrResult(),
+              6 * std::sqrt(0.25 / trials) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Settings, AnalysisMonteCarlo,
+    ::testing::Values(AnalysisCase{8, 8, 32, 1}, AnalysisCase{8, 8, 32, 2},
+                      AnalysisCase{8, 8, 32, 4}, AnalysisCase{8, 8, 48, 3},
+                      AnalysisCase{16, 8, 60, 2}, AnalysisCase{8, 16, 64, 5},
+                      AnalysisCase{8, 5, 20, 5}),
+    [](const ::testing::TestParamInfo<AnalysisCase>& info) {
+      return "b" + std::to_string(info.param.part_bits) + "_m" +
+             std::to_string(info.param.m) + "_tau" +
+             std::to_string(static_cast<int>(info.param.tau)) + "_l" +
+             std::to_string(info.param.l);
+    });
+
+// Exact oracle: enumerate every possible ring of m boxes over the PMF's
+// support and sum the probabilities of those containing a prefix-viable
+// chain of length l. Exponential, so only for tiny settings — but it
+// validates the word-set recurrence exactly, with no sampling error.
+double ExactPrCand(const DiscretePmf& pmf, int m, double tau, int l) {
+  const int k_max = pmf.max_value();
+  std::vector<double> boxes(m, 0);
+  double total = 0;
+  // Odometer enumeration over {0..k_max}^m.
+  std::vector<int> digits(m, 0);
+  while (true) {
+    double prob = 1;
+    for (int i = 0; i < m; ++i) {
+      prob *= pmf.p[digits[i]];
+      boxes[i] = digits[i];
+    }
+    if (prob > 0 && PrefixViableChainExists(boxes, tau, l)) total += prob;
+    int pos = 0;
+    while (pos < m && ++digits[pos] > k_max) digits[pos++] = 0;
+    if (pos == m) break;
+  }
+  return total;
+}
+
+struct ExactCase {
+  int k_max;
+  int m;
+  double tau;
+};
+
+class AnalysisExact : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(AnalysisExact, ClosedFormMatchesExhaustiveEnumeration) {
+  const auto [k_max, m, tau] = GetParam();
+  const DiscretePmf pmf = DiscretePmf::UniformInt(0, k_max);
+  FilterAnalysis analysis(pmf, m, tau);
+  for (int l = 1; l <= m; ++l) {
+    EXPECT_NEAR(analysis.PrCand(l), ExactPrCand(pmf, m, tau, l), 1e-9)
+        << "k_max=" << k_max << " m=" << m << " tau=" << tau << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinySettings, AnalysisExact,
+    ::testing::Values(ExactCase{3, 4, 4.0}, ExactCase{3, 4, 6.0},
+                      ExactCase{4, 5, 8.0}, ExactCase{2, 6, 5.0},
+                      ExactCase{5, 4, 10.0}, ExactCase{3, 5, 7.5},
+                      ExactCase{6, 3, 9.0}),
+    [](const ::testing::TestParamInfo<ExactCase>& info) {
+      return "k" + std::to_string(info.param.k_max) + "_m" +
+             std::to_string(info.param.m) + "_tau" +
+             std::to_string(static_cast<int>(info.param.tau * 10));
+    });
+
+TEST(FilterAnalysisTest, FalsePositiveRatioDecreasesWithChainLength) {
+  // The headline claim of Figure 2.
+  const DiscretePmf pmf = DiscretePmf::Binomial(16, 0.5);
+  FilterAnalysis analysis(pmf, 16, 96);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int l = 1; l <= 7; ++l) {
+    const double ratio = analysis.FalsePositiveRatio(l);
+    EXPECT_LE(ratio, prev + 1e-9);
+    EXPECT_GE(ratio, -1e-9);
+    prev = ratio;
+  }
+}
+
+TEST(FilterAnalysisTest, WordProbabilitiesAreProbabilities) {
+  const DiscretePmf pmf = DiscretePmf::Binomial(8, 0.5);
+  FilterAnalysis analysis(pmf, 8, 24);
+  for (int len = 1; len <= 8; ++len) {
+    const double pr = analysis.PrWord(len);
+    EXPECT_GE(pr, 0.0);
+    EXPECT_LE(pr, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring::core

@@ -1,0 +1,163 @@
+// Tests for the <F, B, D> filtering framework (§5): candidate generation,
+// and the empirical completeness / tightness checkers applied to small
+// concrete instances mirroring the paper's discussion.
+
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/random.h"
+
+namespace pigeonring::core {
+namespace {
+
+// A Hamming-distance filtering instance over d-dimensional BitVectors with
+// m equi-width parts: b_i = H(x_i, q_i), D(tau) = tau. This is the §6.1
+// instance, which is complete and tight (Lemma 7).
+FilteringInstance<BitVector> HammingInstance(int d, int m) {
+  FilteringInstance<BitVector> inst;
+  inst.num_boxes = m;
+  inst.sense = Sense::kLessEqual;
+  inst.box = [d, m](const BitVector& x, const BitVector& q, int i) {
+    return static_cast<double>(
+        x.PartDistance(q, i * d / m, (i + 1) * d / m));
+  };
+  inst.bound = [](double tau) { return tau; };
+  return inst;
+}
+
+std::vector<std::pair<BitVector, BitVector>> RandomPairs(int d, int count,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<BitVector, BitVector>> pairs;
+  for (int i = 0; i < count; ++i) {
+    BitVector a(d), b(d);
+    for (int j = 0; j < d; ++j) {
+      a.Set(j, rng.NextBernoulli(0.5));
+      b.Set(j, rng.NextBernoulli(0.5));
+    }
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  return pairs;
+}
+
+TEST(FrameworkTest, HammingInstanceIsCompleteAndTight) {
+  auto inst = HammingInstance(64, 4);
+  auto f = [](const BitVector& x, const BitVector& q) {
+    return static_cast<double>(x.HammingDistance(q));
+  };
+  const auto pairs = RandomPairs(64, 30, 5);
+  EXPECT_TRUE(CheckCompleteness<BitVector>(inst, f, pairs).holds);
+  EXPECT_TRUE(CheckTightness<BitVector>(inst, f, pairs).holds);
+}
+
+TEST(FrameworkTest, LossyBoundIsCompleteButNotTight) {
+  // D(tau) = 2 * tau over-allocates: completeness holds (||B|| <= f <= 2f),
+  // but tightness fails because D(f1) can admit ||B2|| with f2 > f1.
+  auto inst = HammingInstance(64, 4);
+  inst.bound = [](double tau) { return 2 * tau; };
+  auto f = [](const BitVector& x, const BitVector& q) {
+    return static_cast<double>(x.HammingDistance(q));
+  };
+  const auto pairs = RandomPairs(64, 30, 6);
+  EXPECT_TRUE(CheckCompleteness<BitVector>(inst, f, pairs).holds);
+  EXPECT_FALSE(CheckTightness<BitVector>(inst, f, pairs).holds);
+}
+
+TEST(FrameworkTest, UnderestimatingBoundViolatesCompleteness) {
+  // D(tau) = tau / 2 under-allocates, so condition 1 of Lemma 6 fails on
+  // pairs with positive distance.
+  auto inst = HammingInstance(64, 4);
+  inst.bound = [](double tau) { return tau / 2; };
+  auto f = [](const BitVector& x, const BitVector& q) {
+    return static_cast<double>(x.HammingDistance(q));
+  };
+  const auto pairs = RandomPairs(64, 30, 7);
+  const auto result = CheckCompleteness<BitVector>(inst, f, pairs);
+  EXPECT_FALSE(result.holds);
+  EXPECT_FALSE(result.violation.empty());
+}
+
+TEST(FrameworkTest, TrivialInstanceIsCompleteForAnyProblem) {
+  // §5: m = 1, b_0 = -1, D(tau) = 0 is complete (but useless).
+  FilteringInstance<BitVector> inst;
+  inst.num_boxes = 1;
+  inst.box = [](const BitVector&, const BitVector&, int) { return -1.0; };
+  inst.bound = [](double) { return 0.0; };
+  auto f = [](const BitVector& x, const BitVector& q) {
+    return static_cast<double>(x.HammingDistance(q));
+  };
+  const auto pairs = RandomPairs(32, 20, 8);
+  EXPECT_TRUE(CheckCompleteness<BitVector>(inst, f, pairs).holds);
+  // Every object is a candidate at l = 1.
+  for (const auto& [x, q] : pairs) {
+    EXPECT_TRUE(inst.IsCandidate(x, q, /*tau=*/1.0, /*l=*/1));
+  }
+}
+
+TEST(FrameworkTest, CandidatesNeverMissResults) {
+  // For the tight Hamming instance, every pair with f <= tau must be a
+  // candidate at every chain length (no false negatives).
+  const int d = 64, m = 8;
+  auto inst = HammingInstance(d, m);
+  const auto pairs = RandomPairs(d, 50, 9);
+  for (double tau : {4.0, 8.0, 16.0, 32.0}) {
+    for (const auto& [x, q] : pairs) {
+      if (x.HammingDistance(q) <= tau) {
+        for (int l = 1; l <= m; ++l) {
+          EXPECT_TRUE(inst.IsCandidate(x, q, tau, l))
+              << "missed result at tau=" << tau << " l=" << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(FrameworkTest, LongerChainsNeverAddCandidates) {
+  const int d = 64, m = 8;
+  auto inst = HammingInstance(d, m);
+  const auto pairs = RandomPairs(d, 50, 10);
+  for (double tau : {8.0, 16.0}) {
+    for (const auto& [x, q] : pairs) {
+      for (int l = 2; l <= m; ++l) {
+        if (inst.IsCandidate(x, q, tau, l)) {
+          EXPECT_TRUE(inst.IsCandidate(x, q, tau, l - 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(FrameworkTest, GreaterEqualSenseCandidates) {
+  // An overlap-style instance: boxes are per-segment equalities,
+  // f = total equal positions, constraint f >= tau.
+  const int d = 32, m = 4;
+  FilteringInstance<BitVector> inst;
+  inst.num_boxes = m;
+  inst.sense = Sense::kGreaterEqual;
+  inst.box = [d, m](const BitVector& x, const BitVector& q, int i) {
+    const int begin = i * d / m, end = (i + 1) * d / m;
+    return static_cast<double>(end - begin) -
+           static_cast<double>(x.PartDistance(q, begin, end));
+  };
+  inst.bound = [](double tau) { return tau; };
+  const auto pairs = RandomPairs(d, 40, 11);
+  for (double tau : {8.0, 16.0, 24.0}) {
+    for (const auto& [x, q] : pairs) {
+      const double f = d - x.HammingDistance(q);
+      if (f >= tau) {
+        for (int l = 1; l <= m; ++l) {
+          EXPECT_TRUE(inst.IsCandidate(x, q, tau, l));
+        }
+      }
+      // At l = m candidates are exactly the results (tight instance).
+      EXPECT_EQ(inst.IsCandidate(x, q, tau, m), f >= tau);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring::core

@@ -1,0 +1,93 @@
+// Tests for the integral form of the pigeonring principle (Appendix B).
+
+#include "core/integral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pigeonring::core {
+namespace {
+
+std::vector<double> Sample(const std::function<double(double)>& b,
+                           double period, int grid) {
+  std::vector<double> samples(grid);
+  for (int i = 0; i < grid; ++i) {
+    samples[i] = b(period * (i + 0.5) / grid);
+  }
+  return samples;
+}
+
+TEST(IntegralFormTest, ConstantFunctionAlwaysViable) {
+  const double period = 4.0, n = 8.0;
+  auto samples = Sample([](double) { return 2.0; }, period, 64);
+  auto start = FindIntegralViableStart(samples, period, n);
+  ASSERT_TRUE(start.has_value());
+}
+
+TEST(IntegralFormTest, SinusoidWithBoundedIntegralHasViableStart) {
+  // b(x) = 1 + sin(2 pi x / m) integrates to m over one period; n = m.
+  const double period = 5.0;
+  auto samples = Sample(
+      [&](double x) { return 1.0 + std::sin(2 * M_PI * x / period); }, period,
+      500);
+  auto start = FindIntegralViableStart(samples, period, /*n=*/period);
+  ASSERT_TRUE(start.has_value());
+  // The viable start should be where the sinusoid is about to dip below its
+  // mean: x1 near period/2 (grid index near 250), where sin turns negative.
+  const double x1 = period * (*start + 0.5) / 500;
+  EXPECT_NEAR(x1, period / 2, 0.2);
+}
+
+TEST(IntegralFormTest, ExcessIntegralMayHaveNoViableStart) {
+  // A spike far above the quota in every window: b(x) = 3, n = 2 * period.
+  const double period = 3.0;
+  auto samples = Sample([](double) { return 3.0; }, period, 90);
+  EXPECT_FALSE(FindIntegralViableStart(samples, period, 2.0 * period)
+                   .has_value());
+}
+
+TEST(IntegralFormTest, RandomPeriodicFunctionsWithBoundedIntegral) {
+  // Property: whenever the total Riemann sum is <= n, a viable start exists
+  // (Theorem 9 on the grid).
+  Rng rng(71);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int grid = 20 + static_cast<int>(rng.NextBounded(200));
+    const double period = 1.0 + rng.NextDouble() * 9.0;
+    std::vector<double> samples(grid);
+    double riemann = 0;
+    const double h = period / grid;
+    for (double& s : samples) {
+      s = rng.NextDouble() * 5.0;
+      riemann += s * h;
+    }
+    const double n = riemann + 1e-6;
+    EXPECT_TRUE(FindIntegralViableStart(samples, period, n).has_value());
+  }
+}
+
+TEST(IntegralFormTest, FoundStartSatisfiesAllWindowBounds) {
+  Rng rng(73);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int grid = 50;
+    const double period = 4.0;
+    const double h = period / grid;
+    std::vector<double> samples(grid);
+    for (double& s : samples) s = rng.NextDouble() * 3.0;
+    const double n = rng.NextDouble() * 2.0 * period;
+    auto start = FindIntegralViableStart(samples, period, n);
+    if (!start.has_value()) continue;
+    // Check every window explicitly.
+    double acc = 0;
+    for (int w = 1; w <= grid; ++w) {
+      acc += samples[(*start + w - 1) % grid] * h;
+      EXPECT_LE(acc, w * h * n / period + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring::core

@@ -1,0 +1,109 @@
+// Tests for the Ring chain-sum abstraction, including the geometric
+// interpretation of the strong form (Appendix A): on the prefix-sum plot
+// g(x), the start whose point has the maximum intercept against the mean
+// slope ||B||/m begins a prefix-viable chain of every length.
+
+#include "core/ring.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/principle.h"
+
+namespace pigeonring::core {
+namespace {
+
+TEST(RingTest, ChainSumsMatchDirectSummation) {
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(12));
+    std::vector<double> boxes(m);
+    for (double& b : boxes) b = rng.NextDouble() * 10 - 5;  // negatives too
+    Ring ring(boxes);
+    for (int i = 0; i < m; ++i) {
+      for (int l = 0; l <= m; ++l) {
+        double expected = 0;
+        for (int k = 0; k < l; ++k) expected += boxes[(i + k) % m];
+        EXPECT_NEAR(ring.ChainSum(i, l), expected, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RingTest, NegativeAndOverflowingIndicesWrap) {
+  Ring ring(std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ring.Box(-1), 4);
+  EXPECT_DOUBLE_EQ(ring.Box(5), 2);
+  EXPECT_DOUBLE_EQ(ring.ChainSum(-2, 3), 3 + 4 + 1);
+  EXPECT_DOUBLE_EQ(ring.ChainSum(7, 2), 4 + 1);
+}
+
+TEST(RingTest, TotalSumAndCompleteChain) {
+  Ring ring(std::vector<double>{0.5, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(ring.TotalSum(), 4.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(ring.ChainSum(i, 3), 4.0);  // complete chain = ||B||
+  }
+  EXPECT_DOUBLE_EQ(ring.ChainSum(1, 0), 0.0);  // empty chain
+}
+
+TEST(GeometricInterpretationTest, MaxInterceptStartIsPrefixViable) {
+  // Appendix A: define g(0) = 0, g(x) = b_0 + ... + b_{x-1}. The start i
+  // maximizing the intercept g(i) - i * ||B||/m (the line of slope ||B||/m
+  // through (i, g(i)) with the greatest y-intercept) begins a chain whose
+  // every prefix satisfies ||c_i^l||/l <= ||B||/m <= n/m.
+  Rng rng(103);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(12));
+    std::vector<double> boxes(m);
+    double total = 0;
+    for (double& b : boxes) {
+      b = rng.NextDouble() * 4.0;
+      total += b;
+    }
+    const double n = total + rng.NextDouble();  // ||B|| <= n
+    const double mean = total / m;
+    // Prefix sums and the arg-max intercept.
+    double g = 0, best_intercept = -1e300;
+    int best_i = 0;
+    for (int i = 0; i < m; ++i) {
+      const double intercept = g - i * mean;
+      if (intercept > best_intercept) {
+        best_intercept = intercept;
+        best_i = i;
+      }
+      g += boxes[i];
+    }
+    // That start must be prefix-viable for every chain length.
+    Ring ring(boxes);
+    const ThresholdSeq t = ThresholdSeq::Uniform(n, m);
+    for (int l = 1; l <= m; ++l) {
+      EXPECT_EQ(PrefixViableLength(ring, t, best_i, l), l)
+          << "m=" << m << " start=" << best_i << " l=" << l;
+    }
+  }
+}
+
+TEST(GeometricInterpretationTest, SlopePropertyOfFoundChains) {
+  // Every prefix of a prefix-viable chain has average at most n/m — the
+  // "no chord steeper than the mean line" reading of Appendix A.
+  Rng rng(107);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 2 + static_cast<int>(rng.NextBounded(10));
+    std::vector<double> boxes(m);
+    for (double& b : boxes) b = rng.NextDouble() * 4.0;
+    const double n = rng.NextDouble() * 2.5 * m;
+    const ThresholdSeq t = ThresholdSeq::Uniform(n, m);
+    for (int l = 1; l <= m; ++l) {
+      auto start = FindPrefixViableChain(boxes, t, l);
+      if (!start.has_value()) continue;
+      Ring ring(boxes);
+      for (int len = 1; len <= l; ++len) {
+        EXPECT_LE(ring.ChainSum(*start, len) / len, n / m + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring::core

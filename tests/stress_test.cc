@@ -1,0 +1,125 @@
+// Adversarial edge cases across the search modules: degenerate collections
+// (all-identical objects, single-bucket indexes, empty datasets) must stay
+// correct and terminate promptly.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "editdist/pivotal.h"
+#include "graphed/pars.h"
+#include "hamming/search.h"
+#include "setsim/pkwise.h"
+
+namespace pigeonring {
+namespace {
+
+TEST(StressTest, HammingAllIdenticalObjects) {
+  // Every object hashes into the same bucket in every part.
+  std::vector<BitVector> objects(500, BitVector::FromString(
+                                          "1010101010101010101010101010101"
+                                          "010101010101010101010101010101"
+                                          "01"));
+  hamming::HammingSearcher searcher(objects, 4);
+  for (int l : {1, 2, 4}) {
+    const auto results = searcher.Search(objects[0], 3, l);
+    EXPECT_EQ(results.size(), objects.size());
+  }
+  // A far-away query finds nothing.
+  BitVector far(objects[0].dimensions());
+  for (int i = 0; i < far.dimensions(); ++i) far.Set(i, !objects[0].Get(i));
+  EXPECT_TRUE(searcher.Search(far, 3, 2).empty());
+}
+
+TEST(StressTest, HammingEmptyCollection) {
+  hamming::HammingSearcher searcher(std::vector<BitVector>{}, 1);
+  EXPECT_EQ(searcher.num_objects(), 0);
+}
+
+TEST(StressTest, SetsAllIdentical) {
+  std::vector<std::vector<int>> raw(300, std::vector<int>{1, 2, 3, 4, 5});
+  setsim::SetCollection collection(raw);
+  setsim::PkwiseSearcher searcher(&collection, 0.9, 5);
+  const auto results = searcher.Search(collection.record(0), 2);
+  EXPECT_EQ(results.size(), raw.size());
+}
+
+TEST(StressTest, SetsSingletonUniverse) {
+  // One token shared by everything: frequency order is degenerate.
+  std::vector<std::vector<int>> raw(100, std::vector<int>{7});
+  setsim::SetCollection collection(raw);
+  setsim::PkwiseSearcher searcher(&collection, 1.0, 5);
+  EXPECT_EQ(searcher.Search(collection.record(0), 2).size(), raw.size());
+}
+
+TEST(StressTest, StringsAllIdentical) {
+  const std::vector<std::string> data(400, "aaaaaaaaaaaaaaaa");
+  editdist::EditDistanceSearcher searcher(&data, 2, 2);
+  for (auto filter : {editdist::EditFilter::kPivotal,
+                      editdist::EditFilter::kRing}) {
+    EXPECT_EQ(searcher.Search(data[0], filter, 3).size(), data.size());
+  }
+  EXPECT_TRUE(searcher.Search("zzzzzzzzzzzzzzzz",
+                              editdist::EditFilter::kRing, 3)
+                  .empty());
+}
+
+TEST(StressTest, StringsSingleRepeatedGram) {
+  // Every gram of every string is identical ("aa"): one enormous inverted
+  // list, heavy tie extension in the prefix.
+  std::vector<std::string> data;
+  Rng rng(91);
+  for (int i = 0; i < 200; ++i) {
+    data.push_back(std::string(10 + rng.NextBounded(6), 'a'));
+  }
+  const int tau = 2;
+  editdist::EditDistanceSearcher searcher(&data, tau, 2);
+  for (int probe : {0, 50, 199}) {
+    EXPECT_EQ(searcher.Search(data[probe], editdist::EditFilter::kRing, 3),
+              editdist::BruteForceEditSearch(data, data[probe], tau));
+  }
+}
+
+TEST(StressTest, GraphsAllIdentical) {
+  graphed::Graph g({1, 2, 3, 4});
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 3, 0);
+  const std::vector<graphed::Graph> data(150, g);
+  graphed::GraphSearcher searcher(&data, 2);
+  for (auto filter :
+       {graphed::GraphFilter::kPars, graphed::GraphFilter::kRing}) {
+    EXPECT_EQ(searcher.Search(data[0], filter, 2).size(), data.size());
+  }
+}
+
+TEST(StressTest, GraphsSingleVertexAndEmptyQueries) {
+  std::vector<graphed::Graph> data;
+  data.emplace_back(std::vector<int>{5});
+  data.emplace_back(std::vector<int>{5, 5});
+  graphed::Graph q(std::vector<int>{5});
+  graphed::GraphSearcher searcher(&data, 1);
+  const auto results = searcher.Search(q, graphed::GraphFilter::kRing, 1);
+  EXPECT_EQ(results, (std::vector<int>{0, 1}));  // one insertion away
+}
+
+TEST(StressTest, RepeatedSearchesReuseScratchCorrectly) {
+  // Epoch-stamped scratch must not leak state between queries.
+  Rng rng(93);
+  std::vector<BitVector> objects;
+  for (int i = 0; i < 300; ++i) {
+    BitVector v(64);
+    for (int j = 0; j < 64; ++j) v.Set(j, rng.NextBernoulli(0.5));
+    objects.push_back(std::move(v));
+  }
+  hamming::HammingSearcher searcher(objects, 4);
+  for (int round = 0; round < 50; ++round) {
+    const int id = static_cast<int>(rng.NextBounded(objects.size()));
+    const int tau = 4 + static_cast<int>(rng.NextBounded(16));
+    const int l = 1 + static_cast<int>(rng.NextBounded(4));
+    EXPECT_EQ(searcher.Search(objects[id], tau, l),
+              hamming::BruteForceSearch(objects, objects[id], tau));
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring

@@ -1,0 +1,312 @@
+// pigeonring_cli — generate datasets, run thresholded similarity searches,
+// and run self-joins from the command line.
+//
+// Usage:
+//   pigeonring_cli gen <vectors|sets|strings|graphs> --out FILE
+//       [--n N] [--seed S] [--dim D] [--avg A]
+//   pigeonring_cli search <hamming|sets|strings|graphs> --data FILE
+//       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
+//   pigeonring_cli join <hamming|sets|strings|graphs> --data FILE
+//       --tau T [--chain L] [--measure jaccard|overlap]
+//
+// `search` samples N query objects from the dataset (the paper's protocol)
+// and prints per-query averages; `join` reports all result pairs. With
+// --chain 1 every command runs the pigeonhole baseline; larger values
+// enable the pigeonring filter.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "datagen/binary_vectors.h"
+#include "datagen/graphs.h"
+#include "datagen/strings.h"
+#include "datagen/token_sets.h"
+#include "io/dataset_io.h"
+#include "join/self_join.h"
+
+namespace {
+
+using namespace pigeonring;
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        std::fprintf(stderr, "bad flag syntax near '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long long GetInt(const std::string& key, long long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE\n"
+      "                        [--n N] [--seed S] [--dim D] [--avg A]\n"
+      "  pigeonring_cli search <hamming|sets|strings|graphs> --data FILE\n"
+      "                        --tau T [--chain L] [--queries N]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
+      "                        --tau T [--chain L] [--measure ...]\n");
+  std::exit(2);
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+int RunGen(const std::string& kind, const Flags& flags) {
+  const std::string out = flags.Require("out");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int n = static_cast<int>(flags.GetInt("n", 10000));
+  if (kind == "vectors") {
+    datagen::BinaryVectorConfig config;
+    config.num_objects = n;
+    config.dimensions = static_cast<int>(flags.GetInt("dim", 256));
+    config.num_clusters = std::max(1, n / 50);
+    config.bit_bias = flags.GetDouble("bias", 0.0);
+    config.seed = seed;
+    Check(io::SaveBitVectors(out, datagen::GenerateBinaryVectors(config)));
+  } else if (kind == "sets") {
+    datagen::TokenSetConfig config;
+    config.num_records = n;
+    config.avg_tokens = static_cast<int>(flags.GetInt("avg", 14));
+    config.universe_size = std::max(100, n);
+    config.seed = seed;
+    Check(io::SaveTokenSets(out, datagen::GenerateTokenSets(config)));
+  } else if (kind == "strings") {
+    datagen::StringConfig config;
+    config.num_records = n;
+    config.avg_length = static_cast<int>(flags.GetInt("avg", 16));
+    config.seed = seed;
+    Check(io::SaveStrings(out, datagen::GenerateStrings(config)));
+  } else if (kind == "graphs") {
+    datagen::GraphConfig config;
+    config.num_graphs = n;
+    config.avg_vertices = static_cast<int>(flags.GetInt("avg", 12));
+    config.avg_edges = config.avg_vertices + 1;
+    config.seed = seed;
+    Check(io::SaveGraphs(out, datagen::GenerateGraphs(config)));
+  } else {
+    Usage();
+  }
+  std::printf("wrote %d objects to %s\n", n, out.c_str());
+  return 0;
+}
+
+std::vector<int> SampleQueryIds(int count, int population, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(static_cast<int>(rng.NextBounded(population)));
+  }
+  return ids;
+}
+
+setsim::SetMeasure ParseMeasure(const Flags& flags) {
+  const std::string measure = flags.Get("measure", "jaccard");
+  if (measure == "jaccard") return setsim::SetMeasure::kJaccard;
+  if (measure == "overlap") return setsim::SetMeasure::kOverlap;
+  std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
+  std::exit(2);
+}
+
+int RunSearch(const std::string& kind, const Flags& flags) {
+  const std::string data_path = flags.Require("data");
+  const double tau = std::atof(flags.Require("tau").c_str());
+  const int chain = static_cast<int>(flags.GetInt("chain", 1));
+  const int num_queries = static_cast<int>(flags.GetInt("queries", 100));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  Table table("search " + kind + " tau=" + flags.Require("tau") +
+                  " chain=" + Table::Int(chain),
+              {"queries", "avg candidates", "avg results", "avg time (ms)"});
+  double candidates = 0, results = 0, millis = 0;
+  int executed = 0;
+
+  if (kind == "hamming") {
+    auto objects = Unwrap(io::LoadBitVectors(data_path));
+    if (objects.empty()) {
+      std::fprintf(stderr, "empty dataset\n");
+      return 1;
+    }
+    hamming::HammingSearcher searcher(objects);
+    for (int id : SampleQueryIds(num_queries, objects.size(), seed)) {
+      hamming::SearchStats stats;
+      searcher.Search(objects[id], static_cast<int>(tau), chain,
+                      hamming::AllocationMode::kCostModel, &stats);
+      candidates += static_cast<double>(stats.candidates);
+      results += static_cast<double>(stats.results);
+      millis += stats.total_millis;
+      ++executed;
+    }
+  } else if (kind == "sets") {
+    setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
+    if (collection.num_records() == 0) {
+      std::fprintf(stderr, "empty dataset\n");
+      return 1;
+    }
+    setsim::PkwiseSearcher searcher(&collection, tau, 5, ParseMeasure(flags));
+    for (int id :
+         SampleQueryIds(num_queries, collection.num_records(), seed)) {
+      setsim::SetSearchStats stats;
+      searcher.Search(collection.record(id), chain, &stats);
+      candidates += static_cast<double>(stats.candidates);
+      results += static_cast<double>(stats.results);
+      millis += stats.total_millis;
+      ++executed;
+    }
+  } else if (kind == "strings") {
+    const auto data = Unwrap(io::LoadStrings(data_path));
+    if (data.empty()) {
+      std::fprintf(stderr, "empty dataset\n");
+      return 1;
+    }
+    editdist::EditDistanceSearcher searcher(
+        &data, static_cast<int>(tau),
+        static_cast<int>(flags.GetInt("kappa", 2)));
+    for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
+      editdist::EditSearchStats stats;
+      searcher.Search(data[id],
+                      chain > 1 ? editdist::EditFilter::kRing
+                                : editdist::EditFilter::kPivotal,
+                      chain, &stats);
+      candidates += static_cast<double>(stats.candidates);
+      results += static_cast<double>(stats.results);
+      millis += stats.total_millis;
+      ++executed;
+    }
+  } else if (kind == "graphs") {
+    const auto data = Unwrap(io::LoadGraphs(data_path));
+    if (data.empty()) {
+      std::fprintf(stderr, "empty dataset\n");
+      return 1;
+    }
+    graphed::GraphSearcher searcher(&data, static_cast<int>(tau));
+    for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
+      graphed::GraphSearchStats stats;
+      searcher.Search(data[id],
+                      chain > 1 ? graphed::GraphFilter::kRing
+                                : graphed::GraphFilter::kPars,
+                      chain, &stats);
+      candidates += static_cast<double>(stats.candidates);
+      results += static_cast<double>(stats.results);
+      millis += stats.total_millis;
+      ++executed;
+    }
+  } else {
+    Usage();
+  }
+  table.AddRow({Table::Int(executed), Table::Num(candidates / executed, 1),
+                Table::Num(results / executed, 1),
+                Table::Num(millis / executed, 4)});
+  table.Print();
+  return 0;
+}
+
+int RunJoin(const std::string& kind, const Flags& flags) {
+  const std::string data_path = flags.Require("data");
+  const double tau = std::atof(flags.Require("tau").c_str());
+  const int chain = static_cast<int>(flags.GetInt("chain", 2));
+  join::JoinStats stats;
+  std::vector<join::IdPair> pairs;
+
+  if (kind == "hamming") {
+    auto objects = Unwrap(io::LoadBitVectors(data_path));
+    hamming::HammingSearcher searcher(objects);
+    pairs = join::HammingSelfJoin(searcher, static_cast<int>(tau), chain,
+                                  &stats);
+  } else if (kind == "sets") {
+    setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
+    setsim::PkwiseSearcher searcher(&collection, tau, 5, ParseMeasure(flags));
+    pairs = join::SetSelfJoin(searcher, collection, chain, &stats);
+  } else if (kind == "strings") {
+    const auto data = Unwrap(io::LoadStrings(data_path));
+    editdist::EditDistanceSearcher searcher(
+        &data, static_cast<int>(tau),
+        static_cast<int>(flags.GetInt("kappa", 2)));
+    pairs = join::EditSelfJoin(searcher, data, editdist::EditFilter::kRing,
+                               chain, &stats);
+  } else if (kind == "graphs") {
+    const auto data = Unwrap(io::LoadGraphs(data_path));
+    graphed::GraphSearcher searcher(&data, static_cast<int>(tau));
+    pairs = join::GraphSelfJoin(searcher, data, graphed::GraphFilter::kRing,
+                                chain, &stats);
+  } else {
+    Usage();
+  }
+  std::printf("pairs: %lld (candidate probes: %lld, %.1f ms)\n",
+              static_cast<long long>(stats.pairs),
+              static_cast<long long>(stats.candidates), stats.total_millis);
+  const int limit =
+      static_cast<int>(flags.GetInt("print", 20));
+  for (int i = 0; i < std::min<int>(limit, pairs.size()); ++i) {
+    std::printf("%d %d\n", pairs[i].first, pairs[i].second);
+  }
+  if (static_cast<int>(pairs.size()) > limit) {
+    std::printf("... (%zu total, raise --print to see more)\n", pairs.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) Usage();
+  const std::string command = argv[1];
+  const std::string kind = argv[2];
+  const Flags flags(argc, argv, 3);
+  if (command == "gen") return RunGen(kind, flags);
+  if (command == "search") return RunSearch(kind, flags);
+  if (command == "join") return RunJoin(kind, flags);
+  Usage();
+  return 2;
+}
