@@ -33,6 +33,7 @@ std::vector<std::string> BuildSyllables(Rng& rng, int alphabet, int count) {
 std::vector<std::string> GenerateStrings(const StringConfig& config) {
   PR_CHECK(config.num_records >= 0 && config.avg_length >= 2);
   PR_CHECK(config.alphabet >= 2 && config.alphabet <= 26);
+  PR_CHECK(config.max_perturb_edits >= 1);
   Rng rng(config.seed);
   const std::vector<std::string> syllables =
       BuildSyllables(rng, config.alphabet, 256);
@@ -68,7 +69,7 @@ std::vector<std::string> GenerateStrings(const StringConfig& config) {
           break;
       }
     }
-    if (s.empty()) s = "a";
+    if (s.empty()) s.assign(1, 'a');
     return s;
   };
 

@@ -1,0 +1,38 @@
+# End-to-end smoke test for pigeonring_cli, run by CTest:
+#   gen    — write a tiny binary-vector dataset
+#   search — thresholded Hamming search with the pigeonring filter
+#   join   — Hamming self-join, chain 1 (pigeonhole baseline) for contrast
+# Invoked as:
+#   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
+
+foreach(var PIGEONRING_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_smoke_test.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(dataset "${WORK_DIR}/vectors.ds")
+
+function(run_cli)
+  execute_process(
+    COMMAND ${PIGEONRING_CLI} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "pigeonring_cli ${ARGN} failed (rc=${rc})\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "pigeonring_cli ${ARGN} ->\n${out}")
+endfunction()
+
+run_cli(gen vectors --out "${dataset}" --n 200 --dim 64 --seed 42)
+if(NOT EXISTS "${dataset}")
+  message(FATAL_ERROR "gen did not create ${dataset}")
+endif()
+
+run_cli(search hamming --data "${dataset}" --tau 8 --chain 4 --queries 10)
+run_cli(join hamming --data "${dataset}" --tau 4 --chain 1)
