@@ -1,0 +1,163 @@
+// Engine scaling: self-join wall time vs thread count, all four domains.
+//
+// Not a paper figure — this measures the engine layer itself. Each domain
+// runs the same self-join workload through engine::SelfJoin sequentially
+// and at 2/4/8 threads, asserts the result pairs are identical at every
+// thread count, and reports the speedup. `--json FILE` additionally dumps
+// the timings machine-readably; BENCH_engine.json at the repo root is a
+// committed baseline produced this way (see docs/BENCHMARKS.md for the
+// protocol).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/binary_vectors.h"
+#include "datagen/graphs.h"
+#include "datagen/strings.h"
+#include "datagen/token_sets.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace pigeonring;
+
+struct DomainResult {
+  std::string name;
+  int64_t pairs = 0;
+  std::vector<bench::JoinTiming> timings;
+};
+
+const std::vector<int> kThreadCounts = {2, 4, 8};
+
+DomainResult RunHamming() {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = bench::Scaled(20000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9001;
+  std::printf("[hamming] generating %d codes...\n", config.num_objects);
+  auto objects = datagen::GenerateBinaryVectors(config);
+  engine::HammingAdapter adapter(
+      hamming::HammingSearcher(std::move(objects)), 8, 4);
+  DomainResult result;
+  result.name = "hamming";
+  result.timings = bench::RunJoinScalingTable(
+      "hamming: self-join (tau = 8, l = 4)", adapter, kThreadCounts,
+      &result.pairs);
+  return result;
+}
+
+DomainResult RunSets() {
+  datagen::TokenSetConfig config;
+  config.num_records = bench::Scaled(20000);
+  config.avg_tokens = 14;
+  config.universe_size = bench::Scaled(20000);
+  config.duplicate_fraction = 0.35;
+  config.seed = 9002;
+  std::printf("[sets] generating %d sets...\n", config.num_records);
+  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
+  engine::SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.8, 5),
+                             &collection, 2);
+  DomainResult result;
+  result.name = "sets";
+  result.timings = bench::RunJoinScalingTable(
+      "sets: Jaccard self-join (tau = 0.8, l = 2)", adapter, kThreadCounts,
+      &result.pairs);
+  return result;
+}
+
+DomainResult RunStrings() {
+  datagen::StringConfig config;
+  config.num_records = bench::Scaled(20000);
+  config.avg_length = 16;
+  config.duplicate_fraction = 0.35;
+  config.max_perturb_edits = 2;
+  config.seed = 9003;
+  std::printf("[strings] generating %d strings...\n", config.num_records);
+  const auto data = datagen::GenerateStrings(config);
+  engine::EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2),
+                              &data, editdist::EditFilter::kRing, 3);
+  DomainResult result;
+  result.name = "strings";
+  result.timings = bench::RunJoinScalingTable(
+      "strings: edit-distance self-join (tau = 2, l = 3)", adapter,
+      kThreadCounts, &result.pairs);
+  return result;
+}
+
+DomainResult RunGraphs() {
+  datagen::GraphConfig config;
+  config.num_graphs = bench::Scaled(800);
+  config.avg_vertices = 10;
+  config.avg_edges = 11;
+  config.vertex_labels = 20;
+  config.edge_labels = 3;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_ops = 2;
+  config.seed = 9004;
+  std::printf("[graphs] generating %d graphs...\n", config.num_graphs);
+  const auto data = datagen::GenerateGraphs(config);
+  engine::GraphAdapter adapter(graphed::GraphSearcher(&data, 2), &data,
+                               graphed::GraphFilter::kRing, 2);
+  DomainResult result;
+  result.name = "graphs";
+  result.timings = bench::RunJoinScalingTable(
+      "graphs: GED self-join (tau = 2, l = 2)", adapter, kThreadCounts,
+      &result.pairs);
+  return result;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<DomainResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"engine_scaling\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n", bench::Scale());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"domains\": [\n");
+  for (size_t d = 0; d < results.size(); ++d) {
+    const DomainResult& r = results[d];
+    std::fprintf(f, "    {\"name\": \"%s\", \"pairs\": %lld, \"timings\": [",
+                 r.name.c_str(), static_cast<long long>(r.pairs));
+    for (size_t t = 0; t < r.timings.size(); ++t) {
+      std::fprintf(f, "%s{\"threads\": %d, \"millis\": %.3f}",
+                   t == 0 ? "" : ", ", r.timings[t].threads,
+                   r.timings[t].millis);
+    }
+    std::fprintf(f, "]}%s\n", d + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  std::printf("== Engine scaling: parallel self-join across domains ==\n");
+  std::printf("(hardware threads: %u; speedups saturate at that count)\n\n",
+              std::thread::hardware_concurrency());
+  std::vector<DomainResult> results;
+  results.push_back(RunHamming());
+  results.push_back(RunSets());
+  results.push_back(RunStrings());
+  results.push_back(RunGraphs());
+  if (!json_path.empty()) WriteJson(json_path, results);
+  return 0;
+}

@@ -8,10 +8,14 @@
 #ifndef PIGEONRING_BENCH_BENCH_UTIL_H_
 #define PIGEONRING_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
+#include "engine/engine.h"
 
 namespace pigeonring::bench {
 
@@ -42,6 +46,50 @@ struct Avg {
   }
   double Mean() const { return n == 0 ? 0 : sum / n; }
 };
+
+/// One row of a join-scaling run: wall time at a thread count.
+struct JoinTiming {
+  int threads = 1;
+  double millis = 0;
+};
+
+/// Self-joins `adapter` sequentially and at each count in `thread_counts`,
+/// aborts if any parallel run diverges from the sequential pairs, and
+/// prints a threads / pairs / time / speedup table titled `title`. Returns
+/// the timings (sequential run first) so callers can export them.
+template <engine::Searcher S>
+inline std::vector<JoinTiming> RunJoinScalingTable(
+    const std::string& title, S& adapter,
+    const std::vector<int>& thread_counts, int64_t* pairs_out = nullptr) {
+  engine::JoinStats seq_stats;
+  const auto expected = engine::SelfJoin(adapter, {}, &seq_stats);
+  std::vector<JoinTiming> timings = {{1, seq_stats.total_millis}};
+  Table table(title, {"threads", "pairs", "time (ms)", "speedup"});
+  table.AddRow({"1", Table::Int(seq_stats.pairs),
+                Table::Num(seq_stats.total_millis, 1), "1.00x"});
+  for (int threads : thread_counts) {
+    engine::ExecutionOptions options;
+    options.num_threads = threads;
+    engine::JoinStats stats;
+    const auto pairs = engine::SelfJoin(adapter, options, &stats);
+    if (pairs != expected) {
+      std::fprintf(stderr, "FATAL: %d-thread join diverged from sequential\n",
+                   threads);
+      std::exit(1);
+    }
+    timings.push_back({threads, stats.total_millis});
+    table.AddRow({Table::Int(threads), Table::Int(stats.pairs),
+                  Table::Num(stats.total_millis, 1),
+                  Table::Num(seq_stats.total_millis /
+                                 std::max(1e-9, stats.total_millis),
+                             2) +
+                      "x"});
+  }
+  table.Print();
+  std::printf("\n");
+  if (pairs_out != nullptr) *pairs_out = seq_stats.pairs;
+  return timings;
+}
 
 }  // namespace pigeonring::bench
 

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace pigeonring {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<size_t>(num_threads) - 1);
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks(int thread_index) {
+  while (true) {
+    const int64_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= limit_) break;
+    (*body_)(thread_index, begin, std::min(limit_, begin + chunk_));
+  }
+}
+
+void ThreadPool::WorkerMain(int thread_index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(
+          lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunChunks(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--working_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, int64_t chunk,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  chunk_ = std::max<int64_t>(1, chunk);
+  if (workers_.empty() || n <= chunk_) {
+    fn(0, 0, n);
+    return;
+  }
+  limit_ = n;
+  body_ = &fn;
+  next_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    working_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunChunks(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return working_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace pigeonring

@@ -1,0 +1,71 @@
+// A small fork-join pool for data-parallel loops.
+//
+// The engine's batch drivers shard probes over threads with ParallelFor:
+// chunks of the index range are claimed dynamically from a shared counter,
+// so threads that finish their chunks early keep stealing from the
+// remaining range (cheap work stealing without per-thread deques). The
+// calling thread always participates as thread 0, so ThreadPool(1) spawns
+// no workers and runs every loop inline — the sequential reference path.
+
+#ifndef PIGEONRING_COMMON_THREAD_POOL_H_
+#define PIGEONRING_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pigeonring {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs loops on `num_threads` threads in total,
+  /// counting the calling thread. 0 means std::thread::hardware_concurrency
+  /// (at least 1). Workers idle on a condition variable between loops.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a loop runs on, including the caller.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(thread, begin, end) over dynamically claimed chunks [begin,
+  /// end) of [0, n); `thread` is in [0, num_threads()) and names the thread
+  /// executing the chunk (0 is the caller), so fn may use it to index
+  /// per-thread scratch without locking. At most `chunk` indexes are
+  /// claimed per scheduling step. Blocks until the whole range is done.
+  /// One loop at a time; fn must not call ParallelFor on the same pool.
+  void ParallelFor(int64_t n, int64_t chunk,
+                   const std::function<void(int, int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerMain(int thread_index);
+  /// Claims and runs chunks of the current loop until the range is
+  /// exhausted.
+  void RunChunks(int thread_index);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;          // guarded by mu_
+  uint64_t generation_ = 0;    // guarded by mu_; bumped once per loop
+  int working_ = 0;            // guarded by mu_; workers still in the loop
+
+  // The loop in flight. Written by ParallelFor before the generation bump
+  // (the mutex release/acquire pair publishes them to the workers).
+  std::atomic<int64_t> next_{0};
+  int64_t limit_ = 0;
+  int64_t chunk_ = 1;
+  const std::function<void(int, int64_t, int64_t)>* body_ = nullptr;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pigeonring
+
+#endif  // PIGEONRING_COMMON_THREAD_POOL_H_

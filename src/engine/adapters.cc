@@ -1,0 +1,83 @@
+#include "engine/searcher.h"
+
+namespace pigeonring::engine {
+
+QueryStats ToQueryStats(const hamming::SearchStats& stats) {
+  QueryStats out;
+  out.candidates = stats.candidates;
+  out.results = stats.results;
+  out.index_hits = stats.index_hits;
+  out.chain_checks = stats.chain_checks;
+  out.filter_millis = stats.filter_millis;
+  out.verify_millis = stats.verify_millis;
+  out.total_millis = stats.total_millis;
+  return out;
+}
+
+QueryStats ToQueryStats(const setsim::SetSearchStats& stats) {
+  QueryStats out;
+  out.candidates = stats.candidates;
+  out.results = stats.results;
+  out.index_hits = stats.index_hits;
+  out.filter_millis = stats.filter_millis;
+  out.verify_millis = stats.verify_millis;
+  out.total_millis = stats.total_millis;
+  return out;
+}
+
+QueryStats ToQueryStats(const editdist::EditSearchStats& stats) {
+  QueryStats out;
+  out.candidates = stats.candidates;
+  out.candidates_stage2 = stats.candidates_stage2;
+  out.results = stats.results;
+  out.index_hits = stats.index_hits;
+  out.filter_millis = stats.filter_millis;
+  out.verify_millis = stats.verify_millis;
+  out.total_millis = stats.total_millis;
+  return out;
+}
+
+QueryStats ToQueryStats(const graphed::GraphSearchStats& stats) {
+  QueryStats out;
+  out.candidates = stats.candidates;
+  out.results = stats.results;
+  out.subiso_tests = stats.subiso_tests;
+  out.filter_millis = stats.filter_millis;
+  out.verify_millis = stats.verify_millis;
+  out.total_millis = stats.total_millis;
+  return out;
+}
+
+std::vector<int> HammingAdapter::Search(const Query& query, QueryStats* stats) {
+  hamming::SearchStats domain_stats;
+  auto ids = searcher_.Search(query, tau_, chain_length_, mode_,
+                              stats != nullptr ? &domain_stats : nullptr);
+  if (stats != nullptr) *stats = ToQueryStats(domain_stats);
+  return ids;
+}
+
+std::vector<int> SetAdapter::Search(const Query& query, QueryStats* stats) {
+  setsim::SetSearchStats domain_stats;
+  auto ids = searcher_.Search(query, chain_length_,
+                              stats != nullptr ? &domain_stats : nullptr);
+  if (stats != nullptr) *stats = ToQueryStats(domain_stats);
+  return ids;
+}
+
+std::vector<int> EditAdapter::Search(const Query& query, QueryStats* stats) {
+  editdist::EditSearchStats domain_stats;
+  auto ids = searcher_.Search(query, filter_, chain_length_,
+                              stats != nullptr ? &domain_stats : nullptr);
+  if (stats != nullptr) *stats = ToQueryStats(domain_stats);
+  return ids;
+}
+
+std::vector<int> GraphAdapter::Search(const Query& query, QueryStats* stats) {
+  graphed::GraphSearchStats domain_stats;
+  auto ids = searcher_.Search(query, filter_, chain_length_,
+                              stats != nullptr ? &domain_stats : nullptr);
+  if (stats != nullptr) *stats = ToQueryStats(domain_stats);
+  return ids;
+}
+
+}  // namespace pigeonring::engine

@@ -1,0 +1,68 @@
+// Uniform counters and result types for the query engine.
+//
+// The four case-study searchers each define their own stats struct
+// (hamming::SearchStats, setsim::SetSearchStats, editdist::EditSearchStats,
+// graphed::GraphSearchStats). engine::QueryStats is their superset: every
+// adapter converts its domain stats into it, so batch drivers can merge
+// counters from any domain with one operator+=. Counters a domain does not
+// track stay 0.
+
+#ifndef PIGEONRING_ENGINE_QUERY_STATS_H_
+#define PIGEONRING_ENGINE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace pigeonring::engine {
+
+/// Counters for one query (or, merged, for a batch of queries).
+struct QueryStats {
+  int64_t candidates = 0;        // unique objects passing the filter
+  int64_t candidates_stage2 = 0; // editdist: alignment-filter survivors
+  int64_t results = 0;           // objects within the threshold
+  int64_t index_hits = 0;        // postings touched during filtering
+  int64_t chain_checks = 0;      // hamming: prefix-viable chain checks
+  int64_t subiso_tests = 0;      // graphed: subgraph-isomorphism calls
+  double filter_millis = 0;
+  double verify_millis = 0;
+  double total_millis = 0;
+
+  QueryStats& operator+=(const QueryStats& other) {
+    candidates += other.candidates;
+    candidates_stage2 += other.candidates_stage2;
+    results += other.results;
+    index_hits += other.index_hits;
+    chain_checks += other.chain_checks;
+    subiso_tests += other.subiso_tests;
+    filter_millis += other.filter_millis;
+    verify_millis += other.verify_millis;
+    total_millis += other.total_millis;
+    return *this;
+  }
+
+  friend bool operator==(const QueryStats&, const QueryStats&) = default;
+};
+
+/// An unordered result pair (i < j).
+struct IdPair {
+  int first = 0;
+  int second = 0;
+
+  friend bool operator==(const IdPair&, const IdPair&) = default;
+  friend auto operator<=>(const IdPair&, const IdPair&) = default;
+};
+
+/// Aggregate counters across a whole self-join.
+struct JoinStats {
+  /// Filter survivors summed over all probes, each probe's trivial
+  /// self-match excluded — the same unit as QueryStats::candidates, so a
+  /// join's candidate count is comparable with the sum of its constituent
+  /// searches. (Before the engine existed this counter also included every
+  /// probe's hit on itself, inflating it by exactly the collection size.)
+  int64_t candidates = 0;
+  int64_t pairs = 0;       // unique unordered result pairs
+  double total_millis = 0; // wall-clock time of the whole join
+};
+
+}  // namespace pigeonring::engine
+
+#endif  // PIGEONRING_ENGINE_QUERY_STATS_H_

@@ -1,112 +1,49 @@
 #include "join/self_join.h"
 
-#include <algorithm>
-
-#include "common/timer.h"
+#include "engine/engine.h"
 
 namespace pigeonring::join {
 
 namespace {
 
-// Collects (probe, match) pairs as unordered pairs with i < j, deduplicated
-// (each pair is found from both sides).
-std::vector<IdPair> Dedupe(std::vector<IdPair> pairs) {
-  std::sort(pairs.begin(), pairs.end());
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  return pairs;
-}
-
-void Append(std::vector<IdPair>& out, int probe, const std::vector<int>& ids) {
-  for (int id : ids) {
-    if (id == probe) continue;
-    out.push_back({std::min(probe, id), std::max(probe, id)});
-  }
+engine::ExecutionOptions Options(int num_threads) {
+  engine::ExecutionOptions options;
+  options.num_threads = num_threads;
+  return options;
 }
 
 }  // namespace
 
 std::vector<IdPair> HammingSelfJoin(hamming::HammingSearcher& searcher,
                                     int tau, int chain_length,
-                                    JoinStats* stats) {
-  StopWatch watch;
-  JoinStats local;
-  std::vector<IdPair> pairs;
-  for (int probe = 0; probe < searcher.num_objects(); ++probe) {
-    hamming::SearchStats query_stats;
-    const auto ids = searcher.Search(searcher.objects()[probe], tau,
-                                     chain_length,
-                                     hamming::AllocationMode::kCostModel,
-                                     &query_stats);
-    local.candidates += query_stats.candidates;
-    Append(pairs, probe, ids);
-  }
-  pairs = Dedupe(std::move(pairs));
-  local.pairs = static_cast<int64_t>(pairs.size());
-  local.total_millis = watch.ElapsedMillis();
-  if (stats != nullptr) *stats = local;
-  return pairs;
+                                    JoinStats* stats, int num_threads) {
+  engine::HammingAdapter adapter(searcher, tau, chain_length,
+                                 hamming::AllocationMode::kCostModel);
+  return engine::SelfJoin(adapter, Options(num_threads), stats);
 }
 
 std::vector<IdPair> SetSelfJoin(setsim::PkwiseSearcher& searcher,
                                 const setsim::SetCollection& collection,
-                                int chain_length, JoinStats* stats) {
-  StopWatch watch;
-  JoinStats local;
-  std::vector<IdPair> pairs;
-  for (int probe = 0; probe < collection.num_records(); ++probe) {
-    setsim::SetSearchStats query_stats;
-    const auto ids =
-        searcher.Search(collection.record(probe), chain_length, &query_stats);
-    local.candidates += query_stats.candidates;
-    Append(pairs, probe, ids);
-  }
-  pairs = Dedupe(std::move(pairs));
-  local.pairs = static_cast<int64_t>(pairs.size());
-  local.total_millis = watch.ElapsedMillis();
-  if (stats != nullptr) *stats = local;
-  return pairs;
+                                int chain_length, JoinStats* stats,
+                                int num_threads) {
+  engine::SetAdapter adapter(searcher, &collection, chain_length);
+  return engine::SelfJoin(adapter, Options(num_threads), stats);
 }
 
 std::vector<IdPair> EditSelfJoin(editdist::EditDistanceSearcher& searcher,
                                  const std::vector<std::string>& data,
-                                 editdist::EditFilter filter,
-                                 int chain_length, JoinStats* stats) {
-  StopWatch watch;
-  JoinStats local;
-  std::vector<IdPair> pairs;
-  for (int probe = 0; probe < static_cast<int>(data.size()); ++probe) {
-    editdist::EditSearchStats query_stats;
-    const auto ids =
-        searcher.Search(data[probe], filter, chain_length, &query_stats);
-    local.candidates += query_stats.candidates;
-    Append(pairs, probe, ids);
-  }
-  pairs = Dedupe(std::move(pairs));
-  local.pairs = static_cast<int64_t>(pairs.size());
-  local.total_millis = watch.ElapsedMillis();
-  if (stats != nullptr) *stats = local;
-  return pairs;
+                                 editdist::EditFilter filter, int chain_length,
+                                 JoinStats* stats, int num_threads) {
+  engine::EditAdapter adapter(searcher, &data, filter, chain_length);
+  return engine::SelfJoin(adapter, Options(num_threads), stats);
 }
 
 std::vector<IdPair> GraphSelfJoin(graphed::GraphSearcher& searcher,
                                   const std::vector<graphed::Graph>& data,
-                                  graphed::GraphFilter filter,
-                                  int chain_length, JoinStats* stats) {
-  StopWatch watch;
-  JoinStats local;
-  std::vector<IdPair> pairs;
-  for (int probe = 0; probe < static_cast<int>(data.size()); ++probe) {
-    graphed::GraphSearchStats query_stats;
-    const auto ids =
-        searcher.Search(data[probe], filter, chain_length, &query_stats);
-    local.candidates += query_stats.candidates;
-    Append(pairs, probe, ids);
-  }
-  pairs = Dedupe(std::move(pairs));
-  local.pairs = static_cast<int64_t>(pairs.size());
-  local.total_millis = watch.ElapsedMillis();
-  if (stats != nullptr) *stats = local;
-  return pairs;
+                                  graphed::GraphFilter filter, int chain_length,
+                                  JoinStats* stats, int num_threads) {
+  engine::GraphAdapter adapter(searcher, &data, filter, chain_length);
+  return engine::SelfJoin(adapter, Options(num_threads), stats);
 }
 
 }  // namespace pigeonring::join

@@ -2,66 +2,62 @@
 //
 // The tau-selection form of the paper covers joins as batched searches
 // (§9: "set similarity search and its variant of batch processing"). These
-// helpers run one query per record through the corresponding searcher and
-// report each unordered result pair (i, j) with i < j exactly once. Since
-// the pigeonring filter is applied inside the searchers, `chain_length`
-// upgrades every join from its pigeonhole baseline the same way it does
-// for searches.
+// helpers are thin compatibility wrappers over the unified query engine
+// (src/engine/engine.h): each wraps its domain searcher in the matching
+// engine adapter and runs engine::SelfJoin, which reports each unordered
+// result pair (i, j) with i < j exactly once, sorted. Since the pigeonring
+// filter is applied inside the searchers, `chain_length` upgrades every
+// join from its pigeonhole baseline the same way it does for searches.
+// `num_threads` > 1 shards the probes across a thread pool; result pairs
+// and merged counters are identical to the sequential path.
 
 #ifndef PIGEONRING_JOIN_SELF_JOIN_H_
 #define PIGEONRING_JOIN_SELF_JOIN_H_
 
-#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "editdist/pivotal.h"
+#include "engine/query_stats.h"
 #include "graphed/pars.h"
 #include "hamming/search.h"
 #include "setsim/pkwise.h"
 
 namespace pigeonring::join {
 
-/// An unordered result pair (i < j).
-struct IdPair {
-  int first = 0;
-  int second = 0;
-
-  friend bool operator==(const IdPair&, const IdPair&) = default;
-  friend auto operator<=>(const IdPair&, const IdPair&) = default;
-};
-
-/// Aggregate counters across the whole join.
-struct JoinStats {
-  int64_t candidates = 0;  // summed over all probes (pairs counted twice)
-  int64_t pairs = 0;
-  double total_millis = 0;
-};
+/// Engine result/stats types, re-exported for pre-engine callers.
+using IdPair = engine::IdPair;
+using JoinStats = engine::JoinStats;
 
 /// All pairs with H(x_i, x_j) <= tau. The searcher must have been built
 /// over the joined collection.
 std::vector<IdPair> HammingSelfJoin(hamming::HammingSearcher& searcher,
                                     int tau, int chain_length,
-                                    JoinStats* stats = nullptr);
+                                    JoinStats* stats = nullptr,
+                                    int num_threads = 1);
 
 /// All pairs with similarity >= the searcher's threshold (Jaccard or
 /// overlap, per the searcher's measure).
 std::vector<IdPair> SetSelfJoin(setsim::PkwiseSearcher& searcher,
                                 const setsim::SetCollection& collection,
-                                int chain_length, JoinStats* stats = nullptr);
+                                int chain_length, JoinStats* stats = nullptr,
+                                int num_threads = 1);
 
 /// All pairs with ed(x_i, x_j) <= the searcher's tau.
 std::vector<IdPair> EditSelfJoin(editdist::EditDistanceSearcher& searcher,
                                  const std::vector<std::string>& data,
                                  editdist::EditFilter filter,
                                  int chain_length,
-                                 JoinStats* stats = nullptr);
+                                 JoinStats* stats = nullptr,
+                                 int num_threads = 1);
 
 /// All pairs with ged(x_i, x_j) <= the searcher's tau.
 std::vector<IdPair> GraphSelfJoin(graphed::GraphSearcher& searcher,
                                   const std::vector<graphed::Graph>& data,
                                   graphed::GraphFilter filter,
                                   int chain_length,
-                                  JoinStats* stats = nullptr);
+                                  JoinStats* stats = nullptr,
+                                  int num_threads = 1);
 
 }  // namespace pigeonring::join
 

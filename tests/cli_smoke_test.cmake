@@ -2,6 +2,9 @@
 #   gen    — write a tiny binary-vector dataset
 #   search — thresholded Hamming search with the pigeonring filter
 #   join   — Hamming self-join, chain 1 (pigeonhole baseline) for contrast
+#   join determinism — the same join with --threads 1 and --threads 2 in
+#          --stats kv mode must print identical pairs and counters (only
+#          the stat.millis / stat.threads lines may differ)
 # Invoked as:
 #   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
 
@@ -27,6 +30,14 @@ function(run_cli)
       "pigeonring_cli ${ARGN} failed (rc=${rc})\nstdout:\n${out}\nstderr:\n${err}")
   endif()
   message(STATUS "pigeonring_cli ${ARGN} ->\n${out}")
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# Drops the lines that legitimately differ between thread counts (wall time
+# and the echoed thread count), keeping pairs and deterministic counters.
+function(strip_nondeterministic text out_var)
+  string(REGEX REPLACE "stat\\.(millis|threads)=[^\n]*\n?" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
 endfunction()
 
 run_cli(gen vectors --out "${dataset}" --n 200 --dim 64 --seed 42)
@@ -36,3 +47,17 @@ endif()
 
 run_cli(search hamming --data "${dataset}" --tau 8 --chain 4 --queries 10)
 run_cli(join hamming --data "${dataset}" --tau 4 --chain 1)
+
+# Parallel join determinism: --threads 2 must reproduce the single-threaded
+# pairs and counters exactly.
+run_cli(join hamming --data "${dataset}" --tau 4 --chain 2
+        --threads 1 --stats kv --print 1000000)
+strip_nondeterministic("${last_output}" sequential_join)
+run_cli(join hamming --data "${dataset}" --tau 4 --chain 2
+        --threads 2 --stats kv --print 1000000)
+strip_nondeterministic("${last_output}" parallel_join)
+if(NOT sequential_join STREQUAL parallel_join)
+  message(FATAL_ERROR
+    "parallel join diverged from sequential\n--threads 1:\n${sequential_join}\n--threads 2:\n${parallel_join}")
+endif()
+message(STATUS "join --threads 2 matches --threads 1 exactly")

@@ -1,0 +1,253 @@
+// Tests for the unified query engine: the parallel self-join must be
+// byte-identical to the sequential path in all four domains (pairs and
+// merged counters), SearchBatch must preserve input order, degenerate
+// collections must not trip the pool, and ThreadPool must cover its range
+// exactly once.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/binary_vectors.h"
+#include "datagen/graphs.h"
+#include "datagen/strings.h"
+#include "datagen/token_sets.h"
+#include "join/self_join.h"
+
+namespace pigeonring::engine {
+namespace {
+
+// Joins with 2 and 4 threads (small chunks, to force interleaving) and
+// checks pairs and merged deterministic counters against the sequential
+// run. Timing fields are excluded: wall clock is never deterministic.
+template <Searcher S>
+void ExpectParallelJoinMatchesSequential(S& adapter) {
+  JoinStats seq_stats;
+  const auto seq = SelfJoin(adapter, {}, &seq_stats);
+  for (int threads : {2, 4}) {
+    ExecutionOptions options;
+    options.num_threads = threads;
+    options.chunk = 3;
+    JoinStats par_stats;
+    const auto par = SelfJoin(adapter, options, &par_stats);
+    EXPECT_EQ(par, seq) << "pairs diverged at " << threads << " threads";
+    EXPECT_EQ(par_stats.pairs, seq_stats.pairs);
+    EXPECT_EQ(par_stats.candidates, seq_stats.candidates);
+  }
+}
+
+std::vector<BitVector> MakeVectors(int n, uint64_t seed) {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 64;
+  config.num_objects = n;
+  config.num_clusters = 20;
+  config.cluster_fraction = 0.6;
+  config.flip_rate = 0.05;
+  config.seed = seed;
+  return datagen::GenerateBinaryVectors(config);
+}
+
+TEST(EngineTest, HammingParallelJoinDeterministic) {
+  HammingAdapter adapter(hamming::HammingSearcher(MakeVectors(400, 71), 4),
+                         8, 3);
+  ExpectParallelJoinMatchesSequential(adapter);
+}
+
+TEST(EngineTest, SetParallelJoinDeterministic) {
+  datagen::TokenSetConfig config;
+  config.num_records = 400;
+  config.avg_tokens = 12;
+  config.universe_size = 900;
+  config.duplicate_fraction = 0.4;
+  config.seed = 73;
+  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
+  SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.7, 5),
+                     &collection, 2);
+  ExpectParallelJoinMatchesSequential(adapter);
+}
+
+TEST(EngineTest, EditParallelJoinDeterministic) {
+  datagen::StringConfig config;
+  config.num_records = 300;
+  config.avg_length = 14;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = 79;
+  const auto data = datagen::GenerateStrings(config);
+  EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2), &data,
+                      editdist::EditFilter::kRing, 3);
+  ExpectParallelJoinMatchesSequential(adapter);
+}
+
+TEST(EngineTest, GraphParallelJoinDeterministic) {
+  datagen::GraphConfig config;
+  config.num_graphs = 120;
+  config.avg_vertices = 8;
+  config.avg_edges = 9;
+  config.vertex_labels = 8;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_ops = 2;
+  config.seed = 83;
+  const auto data = datagen::GenerateGraphs(config);
+  GraphAdapter adapter(graphed::GraphSearcher(&data, 2), &data,
+                       graphed::GraphFilter::kRing, 2);
+  ExpectParallelJoinMatchesSequential(adapter);
+}
+
+TEST(EngineTest, LegacyWrapperHonorsNumThreads) {
+  auto objects = MakeVectors(300, 89);
+  hamming::HammingSearcher searcher(objects, 4);
+  join::JoinStats seq_stats, par_stats;
+  const auto seq = join::HammingSelfJoin(searcher, 8, 3, &seq_stats);
+  const auto par = join::HammingSelfJoin(searcher, 8, 3, &par_stats, 4);
+  EXPECT_EQ(par, seq);
+  EXPECT_EQ(par_stats.candidates, seq_stats.candidates);
+  EXPECT_EQ(par_stats.pairs, seq_stats.pairs);
+}
+
+TEST(EngineTest, JoinCandidatesExcludeSelfMatches) {
+  auto objects = MakeVectors(200, 91);
+  HammingAdapter adapter(hamming::HammingSearcher(objects, 4), 8, 3);
+  // Expected: per-probe filter survivors, minus each probe's hit on itself.
+  HammingAdapter probe_copy = adapter;
+  int64_t expected = 0;
+  for (int i = 0; i < adapter.size(); ++i) {
+    QueryStats stats;
+    const auto ids = probe_copy.Search(probe_copy.query(i), &stats);
+    expected += stats.candidates;
+    for (int id : ids) {
+      if (id == i) --expected;
+    }
+  }
+  JoinStats stats;
+  SelfJoin(adapter, {}, &stats);
+  EXPECT_EQ(stats.candidates, expected);
+}
+
+TEST(EngineTest, EmptyCollectionsJoinToNothing) {
+  {
+    HammingAdapter adapter(
+        hamming::HammingSearcher(std::vector<BitVector>{}, 1), 2, 2);
+    JoinStats stats;
+    EXPECT_TRUE(SelfJoin(adapter, {}, &stats).empty());
+    EXPECT_EQ(stats.pairs, 0);
+    EXPECT_EQ(stats.candidates, 0);
+  }
+  {
+    setsim::SetCollection collection{std::vector<std::vector<int>>{}};
+    SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.8, 5),
+                       &collection, 2);
+    EXPECT_TRUE(SelfJoin(adapter).empty());
+  }
+  {
+    const std::vector<std::string> data;
+    EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2), &data,
+                        editdist::EditFilter::kRing, 3);
+    EXPECT_TRUE(SelfJoin(adapter).empty());
+  }
+  {
+    const std::vector<graphed::Graph> data;
+    GraphAdapter adapter(graphed::GraphSearcher(&data, 1), &data,
+                         graphed::GraphFilter::kRing, 1);
+    EXPECT_TRUE(SelfJoin(adapter).empty());
+  }
+}
+
+TEST(EngineTest, SingleRecordJoinsToNothing) {
+  ExecutionOptions options;
+  options.num_threads = 4;
+  {
+    HammingAdapter adapter(
+        hamming::HammingSearcher(MakeVectors(1, 97), 2), 4, 2);
+    JoinStats stats;
+    EXPECT_TRUE(SelfJoin(adapter, options, &stats).empty());
+    EXPECT_EQ(stats.pairs, 0);
+    EXPECT_EQ(stats.candidates, 0) << "the self-match must not be counted";
+  }
+  {
+    setsim::SetCollection collection{
+        std::vector<std::vector<int>>{{1, 2, 3}}};
+    SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.8, 5),
+                       &collection, 2);
+    JoinStats stats;
+    EXPECT_TRUE(SelfJoin(adapter, options, &stats).empty());
+    EXPECT_EQ(stats.candidates, 0);
+  }
+}
+
+TEST(EngineTest, SearchBatchPreservesInputOrder) {
+  auto objects = MakeVectors(300, 101);
+  std::vector<BitVector> queries(objects.begin(), objects.begin() + 50);
+  HammingAdapter adapter(hamming::HammingSearcher(std::move(objects), 4), 10,
+                         3);
+  QueryStats seq_stats;
+  const auto seq = SearchBatch(adapter, queries, {}, &seq_stats);
+  ASSERT_EQ(seq.size(), queries.size());
+
+  ExecutionOptions options;
+  options.num_threads = 4;
+  options.chunk = 3;
+  QueryStats par_stats;
+  const auto par = SearchBatch(adapter, queries, options, &par_stats);
+  EXPECT_EQ(par, seq);
+  EXPECT_EQ(par_stats.candidates, seq_stats.candidates);
+  EXPECT_EQ(par_stats.results, seq_stats.results);
+  EXPECT_EQ(par_stats.index_hits, seq_stats.index_hits);
+
+  // Each slot must be that query's own answer, not just some permutation.
+  HammingAdapter single = adapter;
+  for (size_t i = 0; i < queries.size(); i += 7) {
+    EXPECT_EQ(par[i], single.Search(queries[i], nullptr)) << "query " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  std::atomic<bool> bad_thread{false};
+  pool.ParallelFor(kN, 7, [&](int thread, int64_t begin, int64_t end) {
+    if (thread < 0 || thread >= 4) bad_thread = true;
+    for (int64_t i = begin; i < end; ++i) counts[i]++;
+  });
+  EXPECT_FALSE(bad_thread);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.ParallelFor(10, 4, [&](int thread, int64_t begin, int64_t end) {
+    EXPECT_EQ(thread, 0);
+    calls += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(3);
+  pool.ParallelFor(0, 8, [&](int, int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossLoops) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, 9, [&](int, int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sum += i;
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace pigeonring::engine

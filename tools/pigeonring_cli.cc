@@ -6,13 +6,18 @@
 //       [--n N] [--seed S] [--dim D] [--avg A]
 //   pigeonring_cli search <hamming|sets|strings|graphs> --data FILE
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
+//       [--threads N] [--stats kv]
 //   pigeonring_cli join <hamming|sets|strings|graphs> --data FILE
 //       --tau T [--chain L] [--measure jaccard|overlap]
+//       [--threads N] [--stats kv]
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
 // --chain 1 every command runs the pigeonhole baseline; larger values
-// enable the pigeonring filter.
+// enable the pigeonring filter. Both commands run through the unified
+// query engine: --threads N shards the batch over N threads (results are
+// identical to --threads 1), and --stats kv replaces the human-readable
+// summary with machine-readable key=value lines.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +32,7 @@
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
 #include "datagen/token_sets.h"
+#include "engine/engine.h"
 #include "io/dataset_io.h"
 #include "join/self_join.h"
 
@@ -82,8 +88,10 @@ void Usage() {
       "  pigeonring_cli search <hamming|sets|strings|graphs> --data FILE\n"
       "                        --tau T [--chain L] [--queries N]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--threads N] [--stats kv]\n"
       "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
-      "                        --tau T [--chain L] [--measure ...]\n");
+      "                        --tau T [--chain L] [--measure ...]\n"
+      "                        [--threads N] [--stats kv]\n");
   std::exit(2);
 }
 
@@ -165,11 +173,12 @@ int RunSearch(const std::string& kind, const Flags& flags) {
   const int chain = static_cast<int>(flags.GetInt("chain", 1));
   const int num_queries = static_cast<int>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool stats_kv = flags.Get("stats", "") == "kv";
 
-  Table table("search " + kind + " tau=" + flags.Require("tau") +
-                  " chain=" + Table::Int(chain),
-              {"queries", "avg candidates", "avg results", "avg time (ms)"});
-  double candidates = 0, results = 0, millis = 0;
+  engine::ExecutionOptions options;
+  options.num_threads = threads;
+  engine::QueryStats totals;
   int executed = 0;
 
   if (kind == "hamming") {
@@ -178,77 +187,93 @@ int RunSearch(const std::string& kind, const Flags& flags) {
       std::fprintf(stderr, "empty dataset\n");
       return 1;
     }
-    hamming::HammingSearcher searcher(objects);
+    std::vector<BitVector> queries;
     for (int id : SampleQueryIds(num_queries, objects.size(), seed)) {
-      hamming::SearchStats stats;
-      searcher.Search(objects[id], static_cast<int>(tau), chain,
-                      hamming::AllocationMode::kCostModel, &stats);
-      candidates += static_cast<double>(stats.candidates);
-      results += static_cast<double>(stats.results);
-      millis += stats.total_millis;
-      ++executed;
+      queries.push_back(objects[id]);
     }
+    engine::HammingAdapter adapter(
+        hamming::HammingSearcher(std::move(objects)), static_cast<int>(tau),
+        chain);
+    engine::SearchBatch(adapter, queries, options, &totals);
+    executed = static_cast<int>(queries.size());
   } else if (kind == "sets") {
     setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
     if (collection.num_records() == 0) {
       std::fprintf(stderr, "empty dataset\n");
       return 1;
     }
-    setsim::PkwiseSearcher searcher(&collection, tau, 5, ParseMeasure(flags));
+    std::vector<setsim::RankedSet> queries;
     for (int id :
          SampleQueryIds(num_queries, collection.num_records(), seed)) {
-      setsim::SetSearchStats stats;
-      searcher.Search(collection.record(id), chain, &stats);
-      candidates += static_cast<double>(stats.candidates);
-      results += static_cast<double>(stats.results);
-      millis += stats.total_millis;
-      ++executed;
+      queries.push_back(collection.record(id));
     }
+    engine::SetAdapter adapter(
+        setsim::PkwiseSearcher(&collection, tau, 5, ParseMeasure(flags)),
+        &collection, chain);
+    engine::SearchBatch(adapter, queries, options, &totals);
+    executed = static_cast<int>(queries.size());
   } else if (kind == "strings") {
     const auto data = Unwrap(io::LoadStrings(data_path));
     if (data.empty()) {
       std::fprintf(stderr, "empty dataset\n");
       return 1;
     }
-    editdist::EditDistanceSearcher searcher(
-        &data, static_cast<int>(tau),
-        static_cast<int>(flags.GetInt("kappa", 2)));
+    std::vector<std::string> queries;
     for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
-      editdist::EditSearchStats stats;
-      searcher.Search(data[id],
-                      chain > 1 ? editdist::EditFilter::kRing
-                                : editdist::EditFilter::kPivotal,
-                      chain, &stats);
-      candidates += static_cast<double>(stats.candidates);
-      results += static_cast<double>(stats.results);
-      millis += stats.total_millis;
-      ++executed;
+      queries.push_back(data[id]);
     }
+    engine::EditAdapter adapter(
+        editdist::EditDistanceSearcher(
+            &data, static_cast<int>(tau),
+            static_cast<int>(flags.GetInt("kappa", 2))),
+        &data,
+        chain > 1 ? editdist::EditFilter::kRing
+                  : editdist::EditFilter::kPivotal,
+        chain);
+    engine::SearchBatch(adapter, queries, options, &totals);
+    executed = static_cast<int>(queries.size());
   } else if (kind == "graphs") {
     const auto data = Unwrap(io::LoadGraphs(data_path));
     if (data.empty()) {
       std::fprintf(stderr, "empty dataset\n");
       return 1;
     }
-    graphed::GraphSearcher searcher(&data, static_cast<int>(tau));
+    std::vector<graphed::Graph> queries;
     for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
-      graphed::GraphSearchStats stats;
-      searcher.Search(data[id],
-                      chain > 1 ? graphed::GraphFilter::kRing
-                                : graphed::GraphFilter::kPars,
-                      chain, &stats);
-      candidates += static_cast<double>(stats.candidates);
-      results += static_cast<double>(stats.results);
-      millis += stats.total_millis;
-      ++executed;
+      queries.push_back(data[id]);
     }
+    engine::GraphAdapter adapter(
+        graphed::GraphSearcher(&data, static_cast<int>(tau)), &data,
+        chain > 1 ? graphed::GraphFilter::kRing : graphed::GraphFilter::kPars,
+        chain);
+    engine::SearchBatch(adapter, queries, options, &totals);
+    executed = static_cast<int>(queries.size());
   } else {
     Usage();
   }
-  table.AddRow({Table::Int(executed), Table::Num(candidates / executed, 1),
-                Table::Num(results / executed, 1),
-                Table::Num(millis / executed, 4)});
-  table.Print();
+
+  if (stats_kv) {
+    std::printf("stat.command=search\n");
+    std::printf("stat.kind=%s\n", kind.c_str());
+    std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.queries=%d\n", executed);
+    std::printf("stat.candidates=%lld\n",
+                static_cast<long long>(totals.candidates));
+    std::printf("stat.results=%lld\n",
+                static_cast<long long>(totals.results));
+    std::printf("stat.millis=%.4f\n", totals.total_millis);
+  } else {
+    Table table("search " + kind + " tau=" + flags.Require("tau") +
+                    " chain=" + Table::Int(chain) +
+                    " threads=" + Table::Int(threads),
+                {"queries", "avg candidates", "avg results", "avg time (ms)"});
+    table.AddRow(
+        {Table::Int(executed),
+         Table::Num(static_cast<double>(totals.candidates) / executed, 1),
+         Table::Num(static_cast<double>(totals.results) / executed, 1),
+         Table::Num(totals.total_millis / executed, 4)});
+    table.Print();
+  }
   return 0;
 }
 
@@ -256,6 +281,8 @@ int RunJoin(const std::string& kind, const Flags& flags) {
   const std::string data_path = flags.Require("data");
   const double tau = std::atof(flags.Require("tau").c_str());
   const int chain = static_cast<int>(flags.GetInt("chain", 2));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool stats_kv = flags.Get("stats", "") == "kv";
   join::JoinStats stats;
   std::vector<join::IdPair> pairs;
 
@@ -263,29 +290,40 @@ int RunJoin(const std::string& kind, const Flags& flags) {
     auto objects = Unwrap(io::LoadBitVectors(data_path));
     hamming::HammingSearcher searcher(objects);
     pairs = join::HammingSelfJoin(searcher, static_cast<int>(tau), chain,
-                                  &stats);
+                                  &stats, threads);
   } else if (kind == "sets") {
     setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
     setsim::PkwiseSearcher searcher(&collection, tau, 5, ParseMeasure(flags));
-    pairs = join::SetSelfJoin(searcher, collection, chain, &stats);
+    pairs = join::SetSelfJoin(searcher, collection, chain, &stats, threads);
   } else if (kind == "strings") {
     const auto data = Unwrap(io::LoadStrings(data_path));
     editdist::EditDistanceSearcher searcher(
         &data, static_cast<int>(tau),
         static_cast<int>(flags.GetInt("kappa", 2)));
     pairs = join::EditSelfJoin(searcher, data, editdist::EditFilter::kRing,
-                               chain, &stats);
+                               chain, &stats, threads);
   } else if (kind == "graphs") {
     const auto data = Unwrap(io::LoadGraphs(data_path));
     graphed::GraphSearcher searcher(&data, static_cast<int>(tau));
     pairs = join::GraphSelfJoin(searcher, data, graphed::GraphFilter::kRing,
-                                chain, &stats);
+                                chain, &stats, threads);
   } else {
     Usage();
   }
-  std::printf("pairs: %lld (candidate probes: %lld, %.1f ms)\n",
-              static_cast<long long>(stats.pairs),
-              static_cast<long long>(stats.candidates), stats.total_millis);
+  if (stats_kv) {
+    std::printf("stat.command=join\n");
+    std::printf("stat.kind=%s\n", kind.c_str());
+    std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.pairs=%lld\n", static_cast<long long>(stats.pairs));
+    std::printf("stat.candidates=%lld\n",
+                static_cast<long long>(stats.candidates));
+    std::printf("stat.millis=%.4f\n", stats.total_millis);
+  } else {
+    std::printf("pairs: %lld (candidates: %lld, threads: %d, %.1f ms)\n",
+                static_cast<long long>(stats.pairs),
+                static_cast<long long>(stats.candidates), threads,
+                stats.total_millis);
+  }
   const int limit =
       static_cast<int>(flags.GetInt("print", 20));
   for (int i = 0; i < std::min<int>(limit, pairs.size()); ++i) {
