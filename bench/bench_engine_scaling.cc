@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/timer.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
 #include "datagen/token_sets.h"
 #include "engine/engine.h"
+#include "kernels/flat_bit_table.h"
+#include "kernels/kernels.h"
 
 namespace {
 
@@ -30,6 +33,75 @@ struct DomainResult {
   int64_t pairs = 0;
   std::vector<bench::JoinTiming> timings;
 };
+
+// Kernel panel: single-thread verification throughput on the Hamming
+// dataset, pre-PR scalar loop vs the dispatched batch kernel. The kernel
+// win multiplies with the thread scaling measured above it.
+struct KernelPanel {
+  std::string isa;
+  int dimensions = 0;
+  int tau = 0;
+  double baseline_ns_per_pair = 0;
+  double kernel_ns_per_pair = 0;
+  double speedup = 0;
+};
+
+KernelPanel RunKernelPanel() {
+  datagen::BinaryVectorConfig config;
+  // d = 256 (4 words): wide enough that the flat layout and the 2-word
+  // early exit pay for themselves. Note rows of <= 4 words still verify
+  // via the batch kernel's inlined small-row path — the win measured here
+  // is layout + early exit; the SIMD paths only engage at d > 256.
+  config.dimensions = 256;
+  config.num_objects = bench::Scaled(20000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9001;
+  const auto objects = datagen::GenerateBinaryVectors(config);
+  const auto table = kernels::FlatBitTable::FromVectors(objects);
+  const BitVector& query = objects.front();
+  KernelPanel panel;
+  panel.isa = kernels::IsaName(kernels::ActiveIsa());
+  panel.dimensions = config.dimensions;
+  panel.tau = 25;
+  std::vector<int> ids(objects.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  std::vector<uint8_t> verdicts(objects.size());
+  const int repeats = 20;
+  const double pairs = static_cast<double>(objects.size()) * repeats;
+  long long sink = 0;
+  StopWatch watch;
+  for (int r = 0; r < repeats; ++r) {
+    for (const BitVector& x : objects) {
+      int total = 0;
+      for (size_t w = 0; w < x.words().size(); ++w) {
+        total += Popcount64(x.words()[w] ^ query.words()[w]);
+      }
+      sink += total <= panel.tau ? 1 : 0;
+    }
+  }
+  panel.baseline_ns_per_pair = watch.ElapsedMillis() * 1e6 / pairs;
+  watch.Restart();
+  for (int r = 0; r < repeats; ++r) {
+    sink += kernels::VerifyHammingLeqBatch(
+        table, query.words().data(), panel.tau, ids.data(),
+        static_cast<int>(ids.size()), verdicts.data());
+  }
+  panel.kernel_ns_per_pair = watch.ElapsedMillis() * 1e6 / pairs;
+  panel.speedup =
+      panel.baseline_ns_per_pair / std::max(1e-9, panel.kernel_ns_per_pair);
+  if (sink == -1) std::printf(" ");
+  Table out("kernel panel: Hamming verification (single thread, d = 256)",
+            {"isa", "baseline ns/pair", "kernel ns/pair", "speedup"});
+  out.AddRow({panel.isa, Table::Num(panel.baseline_ns_per_pair, 2),
+              Table::Num(panel.kernel_ns_per_pair, 2),
+              Table::Num(panel.speedup, 2) + "x"});
+  out.Print();
+  std::printf("\n");
+  return panel;
+}
 
 const std::vector<int> kThreadCounts = {2, 4, 8};
 
@@ -115,7 +187,8 @@ DomainResult RunGraphs() {
 }
 
 void WriteJson(const std::string& path,
-               const std::vector<DomainResult>& results) {
+               const std::vector<DomainResult>& results,
+               const KernelPanel& kernel) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -126,6 +199,13 @@ void WriteJson(const std::string& path,
   std::fprintf(f, "  \"scale\": %g,\n", bench::Scale());
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"kernel_isa\": \"%s\",\n", kernel.isa.c_str());
+  std::fprintf(f,
+               "  \"kernel_panel\": {\"dimensions\": %d, \"tau\": %d, "
+               "\"baseline_ns_per_pair\": %.3f, \"kernel_ns_per_pair\": "
+               "%.3f, \"speedup\": %.3f},\n",
+               kernel.dimensions, kernel.tau, kernel.baseline_ns_per_pair,
+               kernel.kernel_ns_per_pair, kernel.speedup);
   std::fprintf(f, "  \"domains\": [\n");
   for (size_t d = 0; d < results.size(); ++d) {
     const DomainResult& r = results[d];
@@ -158,6 +238,7 @@ int main(int argc, char** argv) {
   results.push_back(RunSets());
   results.push_back(RunStrings());
   results.push_back(RunGraphs());
-  if (!json_path.empty()) WriteJson(json_path, results);
+  const KernelPanel kernel = RunKernelPanel();
+  if (!json_path.empty()) WriteJson(json_path, results, kernel);
   return 0;
 }

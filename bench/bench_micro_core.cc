@@ -1,6 +1,10 @@
 // Micro-benchmarks (google-benchmark) for the kernels every search touches:
 // chain checks, popcount Hamming distance, overlap merge, banded edit
-// distance, subgraph isomorphism, and exact GED.
+// distance, subgraph isomorphism, and exact GED, plus the kernel panel
+// (BM_Kernel*): the dispatched SIMD kernels of src/kernels/ against the
+// pre-PR scalar loop they replaced (protocol in docs/BENCHMARKS.md; the
+// committed BENCH_kernels.json baseline comes from the self-timed
+// bench_kernels binary, which runs without Google Benchmark).
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +19,8 @@
 #include "graphed/ged.h"
 #include "graphed/partition.h"
 #include "graphed/subiso.h"
+#include "kernels/flat_bit_table.h"
+#include "kernels/kernels.h"
 #include "setsim/record.h"
 
 namespace {
@@ -70,6 +76,100 @@ void BM_PartDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartDistance);
+
+// --- Kernel panel: the dispatched kernels vs the pre-PR scalar loop. ---
+
+// Replicates the pre-PR BitVector::HammingDistance loop exactly (word at a
+// time over the record-owned vector, no unrolling, no early exit) as the
+// fixed baseline the kernel series are compared against.
+int PrePrScalarDistance(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+  int total = 0;
+  for (size_t i = 0; i < a.size(); ++i) total += Popcount64(a[i] ^ b[i]);
+  return total;
+}
+
+std::pair<BitVector, BitVector> RandomPair(int d, uint64_t seed) {
+  Rng rng(seed);
+  BitVector a(d), b(d);
+  for (int i = 0; i < d; ++i) {
+    a.Set(i, rng.NextBernoulli(0.5));
+    b.Set(i, rng.NextBernoulli(0.5));
+  }
+  return {a, b};
+}
+
+void BM_KernelScalarLoopRef(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  auto [a, b] = RandomPair(d, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrePrScalarDistance(a.words(), b.words()));
+  }
+}
+BENCHMARK(BM_KernelScalarLoopRef)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_KernelHammingDistance(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  auto [a, b] = RandomPair(d, 22);
+  const int nw = a.num_words();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::HammingDistanceWords(
+        a.words().data(), b.words().data(), nw));
+  }
+}
+BENCHMARK(BM_KernelHammingDistance)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_KernelHammingLeq(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int tau = static_cast<int>(state.range(1));
+  auto [a, b] = RandomPair(d, 23);
+  const int nw = a.num_words();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::HammingDistanceLeqWords(
+        a.words().data(), b.words().data(), nw, tau));
+  }
+}
+BENCHMARK(BM_KernelHammingLeq)
+    ->Args({256, 25})
+    ->Args({256, 128})
+    ->Args({512, 51});
+
+void BM_KernelBatchVerify(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Rng rng(24);
+  std::vector<BitVector> objects;
+  for (int i = 0; i < 1024; ++i) {
+    BitVector v(d);
+    for (int j = 0; j < d; ++j) v.Set(j, rng.NextBernoulli(0.5));
+    objects.push_back(std::move(v));
+  }
+  const kernels::FlatBitTable table =
+      kernels::FlatBitTable::FromVectors(objects);
+  const BitVector query = objects.front();
+  std::vector<int> ids(objects.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  std::vector<uint8_t> verdicts(objects.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::VerifyHammingLeqBatch(
+        table, query.words().data(), d / 10, ids.data(),
+        static_cast<int>(ids.size()), verdicts.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_KernelBatchVerify)->Arg(64)->Arg(256);
+
+void BM_KernelMinXorPopcount(benchmark::State& state) {
+  Rng rng(25);
+  std::vector<uint64_t> keys(64);
+  for (auto& k : keys) k = rng.Next();
+  const uint64_t key = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MinXorPopcount(
+        keys.data(), static_cast<int>(keys.size()), key, -1));
+  }
+}
+BENCHMARK(BM_KernelMinXorPopcount);
 
 void BM_OverlapVerify(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));

@@ -1,5 +1,7 @@
 #include "common/bitvector.h"
 
+#include "kernels/kernels.h"
+
 namespace pigeonring {
 
 BitVector BitVector::FromString(const std::string& bits) {
@@ -13,39 +15,21 @@ BitVector BitVector::FromString(const std::string& bits) {
 }
 
 int BitVector::CountOnes() const {
-  int total = 0;
-  for (uint64_t w : words_) total += Popcount64(w);
-  return total;
+  return kernels::PopcountWords(words_.data(),
+                                static_cast<int>(words_.size()));
 }
 
 int BitVector::HammingDistance(const BitVector& other) const {
   PR_CHECK(dimensions_ == other.dimensions_);
-  int total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += Popcount64(words_[i] ^ other.words_[i]);
-  }
-  return total;
+  return kernels::HammingDistanceWords(words_.data(), other.words_.data(),
+                                       static_cast<int>(words_.size()));
 }
 
 int BitVector::PartDistance(const BitVector& other, int begin, int end) const {
   PR_CHECK(dimensions_ == other.dimensions_);
   PR_CHECK(0 <= begin && begin <= end && end <= dimensions_);
-  if (begin == end) return 0;
-  const int first_word = begin >> 6;
-  const int last_word = (end - 1) >> 6;
-  int total = 0;
-  for (int w = first_word; w <= last_word; ++w) {
-    uint64_t diff = words_[w] ^ other.words_[w];
-    if (w == first_word) {
-      diff &= ~uint64_t{0} << (begin & 63);
-    }
-    if (w == last_word) {
-      const int end_bit = ((end - 1) & 63) + 1;  // bits used in last word
-      if (end_bit < 64) diff &= (uint64_t{1} << end_bit) - 1;
-    }
-    total += Popcount64(diff);
-  }
-  return total;
+  return kernels::HammingDistanceRangeWords(words_.data(),
+                                            other.words_.data(), begin, end);
 }
 
 uint64_t BitVector::ExtractBits(int begin, int end) const {

@@ -3,11 +3,14 @@
 // BitVector is the object type for Hamming distance search (Problem 2 of the
 // paper) and the substrate for the content-based filter of string edit
 // distance search (§6.3). Bits are stored little-endian within 64-bit words;
-// bit i of the vector is bit (i % 64) of word (i / 64).
+// bit i of the vector is bit (i % 64) of word (i / 64) — the same layout the
+// kernel layer (src/kernels/) operates on; the distance methods delegate to
+// its dispatched implementations.
 
 #ifndef PIGEONRING_COMMON_BITVECTOR_H_
 #define PIGEONRING_COMMON_BITVECTOR_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,7 +20,7 @@
 namespace pigeonring {
 
 /// Returns the number of set bits in `x`.
-inline int Popcount64(uint64_t x) { return __builtin_popcountll(x); }
+inline int Popcount64(uint64_t x) { return std::popcount(x); }
 
 /// A d-dimensional binary vector.
 class BitVector {
@@ -38,15 +41,22 @@ class BitVector {
   int num_words() const { return static_cast<int>(words_.size()); }
   const std::vector<uint64_t>& words() const { return words_; }
 
+  // Contract for the per-bit accessors below: `0 <= i < dimensions()` is a
+  // hard precondition. It is PR_CHECK-enforced in debug builds only
+  // (PR_DCHECK) — these accessors sit inside the datagen and index-build
+  // loops, where a per-call branch is a measurable fraction of the
+  // one-instruction bit operation. Out-of-range release-mode calls are
+  // undefined behavior (caught by the ASan/UBSan CI job).
+
   /// Returns the value of dimension `i`.
   bool Get(int i) const {
-    PR_CHECK(i >= 0 && i < dimensions_);
+    PR_DCHECK(i >= 0 && i < dimensions_);
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
   /// Sets dimension `i` to `value`.
   void Set(int i, bool value) {
-    PR_CHECK(i >= 0 && i < dimensions_);
+    PR_DCHECK(i >= 0 && i < dimensions_);
     if (value) {
       words_[i >> 6] |= (uint64_t{1} << (i & 63));
     } else {
@@ -56,7 +66,7 @@ class BitVector {
 
   /// Flips dimension `i`.
   void Flip(int i) {
-    PR_CHECK(i >= 0 && i < dimensions_);
+    PR_DCHECK(i >= 0 && i < dimensions_);
     words_[i >> 6] ^= (uint64_t{1} << (i & 63));
   }
 

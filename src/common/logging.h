@@ -24,6 +24,21 @@
     }                                                                   \
   } while (0)
 
+// Debug-only variant for per-element accessors on proven hot paths (e.g.
+// BitVector::Get/Set, FlatBitTable::row): a PR_CHECK in debug builds, a
+// no-op in release (NDEBUG) builds where the branch would cost a measurable
+// fraction of the protected one-instruction operation. Callers must treat
+// the checked condition as a hard precondition either way — release builds
+// exhibit undefined behavior when it is violated. Everything that is not a
+// per-element accessor keeps PR_CHECK.
+#ifdef NDEBUG
+#define PR_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define PR_DCHECK(cond) PR_CHECK(cond)
+#endif
+
 // Like PR_CHECK but with a printf-style message.
 #define PR_CHECK_MSG(cond, ...)                                         \
   do {                                                                  \

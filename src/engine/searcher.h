@@ -13,7 +13,9 @@
 // drivers copy the adapter once per *extra* thread (thread 0 uses the
 // caller's adapter in place), which deep-copies the wrapped searcher —
 // its indexes, its epoch-stamped scratch, and, for HammingAdapter, the
-// bit-vector collection the searcher owns by value. The set / edit / graph
+// bit-vector collection the searcher owns by value together with its
+// FlatBitTable kernel mirror (kernels/flat_bit_table.h), so each thread
+// verifies against its own cache-resident rows. The set / edit / graph
 // adapters share their caller-owned collection behind a const pointer.
 // Clones never share mutable state, so they are safe to use concurrently.
 

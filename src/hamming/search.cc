@@ -5,31 +5,31 @@
 #include <tuple>
 
 #include "common/timer.h"
+#include "kernels/kernels.h"
 
 namespace pigeonring::hamming {
 
 HammingSearcher::HammingSearcher(std::vector<BitVector> objects,
                                  int num_parts)
-    : objects_(std::move(objects)),
-      index_(objects_,
-             Partition::EquiWidth(
-                 objects_.empty() ? 1 : objects_.front().dimensions(),
-                 num_parts > 0
-                     ? num_parts
-                     : std::max(1, (objects_.empty()
-                                        ? 1
-                                        : objects_.front().dimensions()) /
-                                       16))) {
-  PR_CHECK_MSG(index_.partition().num_parts() <= 64,
+    : objects_(std::make_shared<const std::vector<BitVector>>(
+          std::move(objects))) {
+  const int dims = objects_->empty() ? 1 : objects_->front().dimensions();
+  const int m = num_parts > 0 ? num_parts : std::max(1, dims / 16);
+  flat_ = std::make_shared<const kernels::FlatBitTable>(
+      kernels::FlatBitTable::FromVectors(*objects_));
+  index_ = std::make_shared<const PartitionIndex>(
+      *objects_, Partition::EquiWidth(dims, m));
+  PR_CHECK_MSG(index_->partition().num_parts() <= 64,
                "ruled-out bitmask supports at most 64 parts");
-  seen_epoch_.assign(objects_.size(), 0);
-  ruled_out_.assign(objects_.size(), 0);
-  decided_.assign(objects_.size(), 0);
+  seen_epoch_.assign(objects_->size(), 0);
+  ruled_out_.assign(objects_->size(), 0);
+  decided_.assign(objects_->size(), 0);
 }
 
 std::vector<int> HammingSearcher::AllocateThresholds(
     const BitVector& query, int tau, AllocationMode mode) const {
   const int m = num_parts();
+  const PartitionIndex& index = *index_;
   // Integer reduction (Theorem 7): thresholds sum to tau - m + 1. Start all
   // parts at -1 (never probed) and grant tau + 1 single-radius units.
   std::vector<int> t(m, -1);
@@ -48,21 +48,21 @@ std::vector<int> HammingSearcher::AllocateThresholds(
   using Entry = std::tuple<double, int, int>;  // (est. marginal cost, p, r)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
   for (int p = 0; p < m; ++p) {
-    heap.emplace(static_cast<double>(index_.CountAtRadius(query, p, 0)), p,
+    heap.emplace(static_cast<double>(index.CountAtRadius(query, p, 0)), p,
                  0);
   }
   for (int u = 0; u < units; ++u) {
     auto [cost, p, r] = heap.top();
     heap.pop();
     t[p] = r;
-    const int width = index_.partition().width(p);
+    const int width = index.partition().width(p);
     double next_cost;
     if (r >= width) {
       next_cost = 0.0;
     } else if (r == 0) {
       // Radius 1 is still cheap to count exactly (w lookups) and captures
       // most of the per-part skew.
-      next_cost = static_cast<double>(index_.CountAtRadius(query, p, 1));
+      next_cost = static_cast<double>(index.CountAtRadius(query, p, 1));
     } else {
       next_cost = std::max(cost, 1.0) * (width - r) / (r + 1);
     }
@@ -77,7 +77,12 @@ std::vector<int> HammingSearcher::Search(const BitVector& query, int tau,
                                          SearchStats* stats) {
   const int m = num_parts();
   const int l = std::clamp(chain_length, 1, m);
-  const Partition& partition = index_.partition();
+  const Partition& partition = index_->partition();
+  const kernels::FlatBitTable& flat = *flat_;
+  if (!objects_->empty()) {
+    PR_CHECK(query.dimensions() == flat.dimensions());
+  }
+  const uint64_t* query_words = query.words().data();
   StopWatch total_watch;
   StopWatch phase_watch;
 
@@ -102,7 +107,7 @@ std::vector<int> HammingSearcher::Search(const BitVector& query, int tau,
     if (t[i] < 0) continue;
     const int max_radius = std::min(t[i], partition.width(i));
     for (int r = 0; r <= max_radius; ++r) {
-      index_.ProbeAtRadius(query, i, r, [&](int id, int dist) {
+      index_->ProbeAtRadius(query, i, r, [&](int id, int dist) {
         ++local.index_hits;
         touch(id);
         if (decided_[id]) return;
@@ -114,8 +119,9 @@ std::vector<int> HammingSearcher::Search(const BitVector& query, int tau,
         int failed_at = 0;  // 0 = passed
         for (int len = 2; len <= l; ++len) {
           const int j = (i + len - 1) % m;
-          sum += objects_[id].PartDistance(query, partition.begin(j),
-                                           partition.end(j));
+          sum += kernels::HammingDistanceRangeWords(
+              flat.row(id), query_words, partition.begin(j),
+              partition.end(j));
           const int bound = t_prefix[i + len] - t_prefix[i] + (len - 1);
           if (sum > bound) {
             failed_at = len;
@@ -139,9 +145,16 @@ std::vector<int> HammingSearcher::Search(const BitVector& query, int tau,
   local.filter_millis = phase_watch.ElapsedMillis();
 
   phase_watch.Restart();
+  // Batched verification over the flat table: one early-exit kernel call
+  // per surviving candidate, rows prefetched ahead of the cursor.
   std::vector<int> results;
-  for (int id : candidate_ids) {
-    if (objects_[id].HammingDistance(query) <= tau) results.push_back(id);
+  const int num_candidates = static_cast<int>(candidate_ids.size());
+  verdicts_.resize(candidate_ids.size());
+  kernels::VerifyHammingLeqBatch(flat, query_words, tau,
+                                 candidate_ids.data(), num_candidates,
+                                 verdicts_.data());
+  for (int c = 0; c < num_candidates; ++c) {
+    if (verdicts_[c]) results.push_back(candidate_ids[c]);
   }
   std::sort(results.begin(), results.end());
   local.verify_millis = phase_watch.ElapsedMillis();

@@ -13,10 +13,12 @@
 #define PIGEONRING_HAMMING_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitvector.h"
 #include "hamming/index.h"
+#include "kernels/flat_bit_table.h"
 
 namespace pigeonring::hamming {
 
@@ -43,15 +45,21 @@ struct SearchStats {
 };
 
 /// A reusable searcher over a fixed collection of binary vectors.
+///
+/// Copies are cheap and parallel-safe: the collection, its FlatBitTable
+/// kernel mirror, and the partition index are immutable after construction
+/// and shared between copies (concurrent reads, no locks needed); only the
+/// per-query epoch-stamped scratch is per-copy. This is what the engine's
+/// per-thread searcher clones rely on.
 class HammingSearcher {
  public:
   /// Builds the per-part index. `num_parts` defaults to the paper's setting
   /// m = floor(d / 16) when passed 0.
   HammingSearcher(std::vector<BitVector> objects, int num_parts = 0);
 
-  int num_parts() const { return index_.partition().num_parts(); }
-  int num_objects() const { return static_cast<int>(objects_.size()); }
-  const std::vector<BitVector>& objects() const { return objects_; }
+  int num_parts() const { return index_->partition().num_parts(); }
+  int num_objects() const { return static_cast<int>(objects_->size()); }
+  const std::vector<BitVector>& objects() const { return *objects_; }
 
   /// Finds all ids with H(x, q) <= tau. `chain_length` = 1 reproduces the
   /// GPH baseline; larger values enable the pigeonring filter. `stats` may
@@ -65,14 +73,19 @@ class HammingSearcher {
                                       AllocationMode mode) const;
 
  private:
-  std::vector<BitVector> objects_;
-  PartitionIndex index_;
+  // Immutable after construction, shared across copies.
+  std::shared_ptr<const std::vector<BitVector>> objects_;
+  // Flat, cache-aligned mirror (row i == objects[i]) that the chain-check
+  // and verification hot paths read; see kernels/flat_bit_table.h.
+  std::shared_ptr<const kernels::FlatBitTable> flat_;
+  std::shared_ptr<const PartitionIndex> index_;
 
   // Per-query scratch, epoch-stamped so no O(N) clearing is needed.
   uint32_t epoch_ = 0;
   std::vector<uint32_t> seen_epoch_;
   std::vector<uint64_t> ruled_out_;  // bitmask of chain starts ruled out
   std::vector<uint8_t> decided_;     // candidate already verified
+  std::vector<uint8_t> verdicts_;    // batched-verification output buffer
 };
 
 /// Reference result set by exhaustive scan; used by tests and the benches'

@@ -1,0 +1,74 @@
+#include "kernels/flat_bit_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace pigeonring::kernels {
+
+FlatBitTable::Buffer FlatBitTable::AllocateZeroed(size_t total_words) {
+  if (total_words == 0) return Buffer();
+  auto* raw = static_cast<uint64_t*>(::operator new[](
+      total_words * sizeof(uint64_t), std::align_val_t{kAlignmentBytes}));
+  std::memset(raw, 0, total_words * sizeof(uint64_t));
+  return Buffer(raw);
+}
+
+int FlatBitTable::StrideWordsFor(int words_per_row) {
+  if (words_per_row <= 1) return 1;
+  if (words_per_row <= 2) return 2;
+  if (words_per_row <= 4) return 4;
+  return (words_per_row + kAlignmentWords - 1) / kAlignmentWords *
+         kAlignmentWords;
+}
+
+FlatBitTable::FlatBitTable(int num_rows, int dimensions)
+    : num_rows_(num_rows), dimensions_(dimensions) {
+  PR_CHECK(num_rows >= 0 && dimensions >= 0);
+  words_per_row_ = (dimensions + 63) / 64;
+  stride_words_ = StrideWordsFor(words_per_row_);
+  data_ = AllocateZeroed(static_cast<size_t>(num_rows_) * stride_words_);
+}
+
+FlatBitTable FlatBitTable::FromVectors(const std::vector<BitVector>& objects) {
+  const int n = static_cast<int>(objects.size());
+  FlatBitTable table(n, n == 0 ? 0 : objects.front().dimensions());
+  for (int i = 0; i < n; ++i) table.SetRow(i, objects[i]);
+  return table;
+}
+
+FlatBitTable::FlatBitTable(const FlatBitTable& other)
+    : num_rows_(other.num_rows_),
+      dimensions_(other.dimensions_),
+      words_per_row_(other.words_per_row_),
+      stride_words_(other.stride_words_) {
+  const size_t total = static_cast<size_t>(num_rows_) * stride_words_;
+  data_ = AllocateZeroed(total);
+  if (total > 0) {
+    std::memcpy(data_.get(), other.data_.get(), total * sizeof(uint64_t));
+  }
+}
+
+FlatBitTable& FlatBitTable::operator=(const FlatBitTable& other) {
+  if (this != &other) *this = FlatBitTable(other);  // copy, then move-assign
+  return *this;
+}
+
+void FlatBitTable::SetRow(int i, const BitVector& v) {
+  PR_CHECK(i >= 0 && i < num_rows_);
+  PR_CHECK(v.dimensions() == dimensions_);
+  uint64_t* dst = data_.get() + static_cast<size_t>(i) * stride_words_;
+  std::copy(v.words().begin(), v.words().end(), dst);
+}
+
+BitVector FlatBitTable::RowAsBitVector(int i) const {
+  PR_CHECK(i >= 0 && i < num_rows_);
+  BitVector v(dimensions_);
+  const uint64_t* src = row(i);
+  for (int d = 0; d < dimensions_; ++d) {
+    if ((src[d >> 6] >> (d & 63)) & 1) v.Set(d, true);
+  }
+  return v;
+}
+
+}  // namespace pigeonring::kernels

@@ -1,0 +1,96 @@
+// Vectorized verification kernels: popcount / Hamming distance primitives
+// with runtime CPU dispatch.
+//
+// Every pigeonring filter funnels its surviving candidates into
+// popcount-heavy verification — full Hamming distance for §6.1, per-part box
+// distances for the chain checks, and the alphabet-mask content filter of
+// §6.3. This layer provides those primitives as batched, branch-light
+// kernels over raw 64-bit word arrays (little-endian words, bit i of the
+// vector = bit (i % 64) of word (i / 64), matching BitVector).
+//
+// Dispatch rules:
+//   - The best instruction set is picked once at startup from
+//     __builtin_cpu_supports: AVX-512 (F + VPOPCNTDQ), else AVX2, else the
+//     portable std::popcount scalar path.
+//   - Compiling with -DPIGEONRING_NO_SIMD (CMake option of the same name)
+//     removes the SIMD paths entirely; non-x86-64 builds are scalar-only
+//     automatically.
+//   - Tests and benches may pin a path with SetActiveIsa (e.g. to prove
+//     scalar/SIMD parity or to measure a single path); requests for an
+//     unsupported path are refused, never faked.
+//
+// All kernels are pure functions of their arguments and are safe to call
+// concurrently; SetActiveIsa is not thread-safe and is meant for test and
+// bench setup only.
+
+#ifndef PIGEONRING_KERNELS_KERNELS_H_
+#define PIGEONRING_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+namespace pigeonring::kernels {
+
+class FlatBitTable;
+
+/// Instruction sets the dispatcher can target, weakest first.
+enum class Isa {
+  kScalar = 0,  // portable std::popcount word loop
+  kAvx2 = 1,    // 256-bit nibble-LUT popcount (vpshufb + vpsadbw)
+  kAvx512 = 2,  // 512-bit vpopcntq (requires AVX-512F + VPOPCNTDQ)
+};
+
+/// Human-readable name ("scalar", "avx2", "avx512").
+const char* IsaName(Isa isa);
+
+/// The best instruction set supported by this CPU and build.
+Isa BestIsa();
+
+/// The instruction set kernel calls currently dispatch to.
+Isa ActiveIsa();
+
+/// Pins dispatch to `isa` if it is supported; returns whether it took
+/// effect. Not thread-safe; for test and bench setup only.
+bool SetActiveIsa(Isa isa);
+
+/// Number of set bits across `num_words` words.
+int PopcountWords(const uint64_t* words, int num_words);
+
+/// Hamming distance between two `num_words`-word vectors:
+/// sum of popcount(a[i] ^ b[i]).
+int HammingDistanceWords(const uint64_t* a, const uint64_t* b, int num_words);
+
+/// Early-exit threshold test: returns true iff the Hamming distance is
+/// <= tau. When it returns true and `distance` is non-null, *distance is
+/// the exact distance; when it returns false, *distance is some partial
+/// sum > tau (the kernel stops counting as soon as tau is exceeded).
+bool HammingDistanceLeqWords(const uint64_t* a, const uint64_t* b,
+                             int num_words, int tau, int* distance = nullptr);
+
+/// Hamming distance restricted to the bit range [begin_bit, end_bit): the
+/// per-part box value b_i(x, q) of §6.1. Both arrays must cover the range.
+int HammingDistanceRangeWords(const uint64_t* a, const uint64_t* b,
+                              int begin_bit, int end_bit);
+
+/// Block-signature popcount chain for the §6.3 content filter: scans
+/// popcount(keys[i] ^ key) over keys[0..n) in blocks of four and returns
+/// the minimum seen, stopping after any block whose running minimum is
+/// <= stop_at_leq (pass a negative value to always scan everything).
+/// The result is the exact minimum unless the early stop fired, in which
+/// case it is the minimum over a prefix — still <= stop_at_leq, which is
+/// the only property the chain check needs. Returns 64 + 1 for n <= 0.
+int MinXorPopcount(const uint64_t* keys, int n, uint64_t key, int stop_at_leq);
+
+/// Batched verification against a flat candidate table: for each of the
+/// `n` ids, verdicts[i] = 1 iff the Hamming distance between table row
+/// ids[i] and `query` is <= tau, else 0. `query` must hold
+/// table.words_per_row() words. When `distances` is non-null it receives
+/// the exact distance for passing rows (value > tau otherwise, as in
+/// HammingDistanceLeqWords). Rows ahead of the cursor are prefetched.
+/// Returns the number of passing ids.
+int VerifyHammingLeqBatch(const FlatBitTable& table, const uint64_t* query,
+                          int tau, const int* ids, int n, uint8_t* verdicts,
+                          int* distances = nullptr);
+
+}  // namespace pigeonring::kernels
+
+#endif  // PIGEONRING_KERNELS_KERNELS_H_

@@ -20,11 +20,18 @@ using GTEST_DEATH_TEST_ = int;  // silences unused-typedef style checkers
 
 TEST(ContractsDeathTest, BitVectorIndexOutOfRange) {
   BitVector v(8);
-  EXPECT_DEATH(v.Get(8), "PR_CHECK");
-  EXPECT_DEATH(v.Set(-1, true), "PR_CHECK");
   BitVector w(16);
+  // Whole-vector operations validate their arguments in every build type.
   EXPECT_DEATH((void)v.HammingDistance(w), "PR_CHECK");
   EXPECT_DEATH((void)v.PartDistance(v, 4, 2), "PR_CHECK");
+  // The per-bit accessors Get/Set/Flip check only in debug builds
+  // (PR_DCHECK): in release builds an out-of-range index is undefined
+  // behavior, documented in bitvector.h and patrolled by the ASan/UBSan CI
+  // job rather than a per-call branch.
+#ifndef NDEBUG
+  EXPECT_DEATH(v.Get(8), "PR_CHECK");
+  EXPECT_DEATH(v.Set(-1, true), "PR_CHECK");
+#endif
 }
 
 TEST(ContractsDeathTest, RngRejectsZeroBound) {

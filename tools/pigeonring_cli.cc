@@ -35,6 +35,7 @@
 #include "engine/engine.h"
 #include "io/dataset_io.h"
 #include "join/self_join.h"
+#include "kernels/kernels.h"
 
 namespace {
 
@@ -256,6 +257,8 @@ int RunSearch(const std::string& kind, const Flags& flags) {
     std::printf("stat.command=search\n");
     std::printf("stat.kind=%s\n", kind.c_str());
     std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.kernel_isa=%s\n",
+                kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.queries=%d\n", executed);
     std::printf("stat.candidates=%lld\n",
                 static_cast<long long>(totals.candidates));
@@ -314,6 +317,8 @@ int RunJoin(const std::string& kind, const Flags& flags) {
     std::printf("stat.command=join\n");
     std::printf("stat.kind=%s\n", kind.c_str());
     std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.kernel_isa=%s\n",
+                kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.pairs=%lld\n", static_cast<long long>(stats.pairs));
     std::printf("stat.candidates=%lld\n",
                 static_cast<long long>(stats.candidates));
