@@ -1,19 +1,24 @@
 // Engine scaling: self-join wall time vs thread count, all four domains.
 //
 // Not a paper figure — this measures the engine layer itself. Each domain
-// runs the same self-join workload through engine::SelfJoin sequentially
-// and at 2/4/8 threads, asserts the result pairs are identical at every
-// thread count, and reports the speedup. `--json FILE` additionally dumps
-// the timings machine-readably; BENCH_engine.json at the repo root is a
-// committed baseline produced this way (see docs/BENCHMARKS.md for the
-// protocol).
+// runs the same self-join workload through the public api::Db facade
+// sequentially and at 2/4/8 threads, asserts the result pairs are
+// identical at every thread count, and reports the speedup. The facade
+// panel then prices the type-erasure boundary itself: the same Hamming
+// search batch through the templated engine::SearchBatch driver vs
+// through Db::SearchBatch at one thread (acceptance bar: within 3%).
+// `--json FILE` additionally dumps the timings machine-readably;
+// BENCH_engine.json at the repo root is a committed baseline produced
+// this way (see docs/BENCHMARKS.md for the protocol).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/db.h"
 #include "bench_util.h"
 #include "common/timer.h"
 #include "datagen/binary_vectors.h"
@@ -115,13 +120,18 @@ DomainResult RunHamming() {
   config.bit_bias = 0.3;
   config.seed = 9001;
   std::printf("[hamming] generating %d codes...\n", config.num_objects);
-  auto objects = datagen::GenerateBinaryVectors(config);
-  engine::HammingAdapter adapter(
-      hamming::HammingSearcher(std::move(objects)), 8, 4);
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec,
+                    api::Dataset(datagen::GenerateBinaryVectors(config))),
+      "open hamming");
   DomainResult result;
   result.name = "hamming";
-  result.timings = bench::RunJoinScalingTable(
-      "hamming: self-join (tau = 8, l = 4)", adapter, kThreadCounts,
+  result.timings = bench::RunDbJoinScalingTable(
+      "hamming: self-join (tau = 8, l = 4)", db, kThreadCounts,
       &result.pairs);
   return result;
 }
@@ -134,13 +144,17 @@ DomainResult RunSets() {
   config.duplicate_fraction = 0.35;
   config.seed = 9002;
   std::printf("[sets] generating %d sets...\n", config.num_records);
-  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
-  engine::SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.8, 5),
-                             &collection, 2);
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kSet;
+  spec.tau = 0.8;
+  spec.chain_length = 2;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateTokenSets(config))),
+      "open sets");
   DomainResult result;
   result.name = "sets";
-  result.timings = bench::RunJoinScalingTable(
-      "sets: Jaccard self-join (tau = 0.8, l = 2)", adapter, kThreadCounts,
+  result.timings = bench::RunDbJoinScalingTable(
+      "sets: Jaccard self-join (tau = 0.8, l = 2)", db, kThreadCounts,
       &result.pairs);
   return result;
 }
@@ -153,13 +167,17 @@ DomainResult RunStrings() {
   config.max_perturb_edits = 2;
   config.seed = 9003;
   std::printf("[strings] generating %d strings...\n", config.num_records);
-  const auto data = datagen::GenerateStrings(config);
-  engine::EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2),
-                              &data, editdist::EditFilter::kRing, 3);
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateStrings(config))),
+      "open strings");
   DomainResult result;
   result.name = "strings";
-  result.timings = bench::RunJoinScalingTable(
-      "strings: edit-distance self-join (tau = 2, l = 3)", adapter,
+  result.timings = bench::RunDbJoinScalingTable(
+      "strings: edit-distance self-join (tau = 2, l = 3)", db,
       kThreadCounts, &result.pairs);
   return result;
 }
@@ -175,20 +193,98 @@ DomainResult RunGraphs() {
   config.max_perturb_ops = 2;
   config.seed = 9004;
   std::printf("[graphs] generating %d graphs...\n", config.num_graphs);
-  const auto data = datagen::GenerateGraphs(config);
-  engine::GraphAdapter adapter(graphed::GraphSearcher(&data, 2), &data,
-                               graphed::GraphFilter::kRing, 2);
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kGraph;
+  spec.tau = 2;
+  spec.chain_length = 2;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateGraphs(config))),
+      "open graphs");
   DomainResult result;
   result.name = "graphs";
-  result.timings = bench::RunJoinScalingTable(
-      "graphs: GED self-join (tau = 2, l = 2)", adapter, kThreadCounts,
+  result.timings = bench::RunDbJoinScalingTable(
+      "graphs: GED self-join (tau = 2, l = 2)", db, kThreadCounts,
       &result.pairs);
   return result;
 }
 
+// Facade panel: the cost of the type-erasure boundary. The same Hamming
+// query batch runs through the templated engine::SearchBatch over a
+// hand-wired adapter (the pre-api consumer path) and through
+// Db::SearchBatch at one thread; both repeat `repeats` times and keep
+// their best run. The erased path pays one virtual dispatch plus the
+// query-list conversion per *batch*, so the overhead bar is 3%.
+struct FacadePanel {
+  int num_queries = 0;
+  double templated_millis = 0;
+  double facade_millis = 0;
+  double overhead_pct = 0;
+};
+
+FacadePanel RunFacadePanel() {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = bench::Scaled(20000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9001;
+  const auto objects = datagen::GenerateBinaryVectors(config);
+  const auto raw_queries =
+      datagen::SampleQueries(objects, bench::Scaled(400), 9005);
+
+  engine::HammingAdapter adapter(hamming::HammingSearcher(objects), 8, 4);
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(objects)), "open hamming");
+  std::vector<api::Query> facade_queries(raw_queries.begin(),
+                                         raw_queries.end());
+
+  FacadePanel panel;
+  panel.num_queries = static_cast<int>(raw_queries.size());
+  const int repeats = 5;
+  std::vector<std::vector<int>> templated_ids, facade_ids;
+  for (int r = 0; r < repeats; ++r) {
+    StopWatch watch;
+    templated_ids = engine::SearchBatch(adapter, raw_queries);
+    const double millis = watch.ElapsedMillis();
+    panel.templated_millis = r == 0
+                                 ? millis
+                                 : std::min(panel.templated_millis, millis);
+    watch.Restart();
+    auto batch = bench::BenchUnwrap(db.SearchBatch(facade_queries),
+                                    "facade SearchBatch");
+    const double facade_millis = watch.ElapsedMillis();
+    panel.facade_millis =
+        r == 0 ? facade_millis : std::min(panel.facade_millis, facade_millis);
+    facade_ids = std::move(batch.ids);
+  }
+  if (facade_ids != templated_ids) {
+    std::fprintf(stderr, "FATAL: facade results diverged from templated\n");
+    std::exit(1);
+  }
+  panel.overhead_pct =
+      (panel.facade_millis / std::max(1e-9, panel.templated_millis) - 1.0) *
+      100.0;
+  Table out("facade panel: type-erased Db vs templated driver "
+            "(hamming search batch, 1 thread, best of 5)",
+            {"queries", "templated (ms)", "Db facade (ms)", "overhead"});
+  out.AddRow({Table::Int(panel.num_queries),
+              Table::Num(panel.templated_millis, 3),
+              Table::Num(panel.facade_millis, 3),
+              Table::Num(panel.overhead_pct, 2) + "%"});
+  out.Print();
+  std::printf("\n");
+  return panel;
+}
+
 void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
-               const KernelPanel& kernel) {
+               const KernelPanel& kernel, const FacadePanel& facade) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -206,6 +302,11 @@ void WriteJson(const std::string& path,
                "%.3f, \"speedup\": %.3f},\n",
                kernel.dimensions, kernel.tau, kernel.baseline_ns_per_pair,
                kernel.kernel_ns_per_pair, kernel.speedup);
+  std::fprintf(f,
+               "  \"facade_panel\": {\"queries\": %d, \"templated_millis\": "
+               "%.3f, \"facade_millis\": %.3f, \"overhead_pct\": %.3f},\n",
+               facade.num_queries, facade.templated_millis,
+               facade.facade_millis, facade.overhead_pct);
   std::fprintf(f, "  \"domains\": [\n");
   for (size_t d = 0; d < results.size(); ++d) {
     const DomainResult& r = results[d];
@@ -239,6 +340,7 @@ int main(int argc, char** argv) {
   results.push_back(RunStrings());
   results.push_back(RunGraphs());
   const KernelPanel kernel = RunKernelPanel();
-  if (!json_path.empty()) WriteJson(json_path, results, kernel);
+  const FacadePanel facade = RunFacadePanel();
+  if (!json_path.empty()) WriteJson(json_path, results, kernel, facade);
   return 0;
 }

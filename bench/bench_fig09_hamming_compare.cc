@@ -62,7 +62,7 @@ void RunPanel(const char* name, int dimensions, int tau_step, int tau_max,
 }
 
 // Engine extension (not in the paper): the same workload as a parallel
-// self-join through engine::SelfJoin, sequential vs sharded.
+// self-join through the public api::Db facade, sequential vs sharded.
 void RunJoinPanel() {
   datagen::BinaryVectorConfig config;
   config.dimensions = 128;
@@ -75,11 +75,14 @@ void RunJoinPanel() {
   std::printf("[join] generating %d codes (d = %d)...\n", config.num_objects,
               config.dimensions);
   auto objects = datagen::GenerateBinaryVectors(config);
-  engine::HammingAdapter adapter(
-      hamming::HammingSearcher(std::move(objects)), 8, 4);
-  bench::RunJoinScalingTable(
-      "Hamming self-join (tau = 8, l = 4): engine thread scaling", adapter,
-      {2, 4});
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(std::move(objects))), "open hamming");
+  bench::RunDbJoinScalingTable(
+      "Hamming self-join (tau = 8, l = 4): Db thread scaling", db, {2, 4});
 }
 
 }  // namespace

@@ -79,7 +79,7 @@ void RunPanel(const char* name, int avg_tokens, int num_records,
 }
 
 // Engine extension (not in the paper): a DBLP-like similarity self-join
-// through engine::SelfJoin, sequential vs sharded.
+// through the public api::Db facade, sequential vs sharded.
 void RunJoinPanel() {
   datagen::TokenSetConfig config;
   config.num_records = bench::Scaled(20000);
@@ -89,12 +89,15 @@ void RunJoinPanel() {
   config.seed = 4005;
   std::printf("[join] generating %d sets (avg %d tokens)...\n",
               config.num_records, config.avg_tokens);
-  setsim::SetCollection collection(datagen::GenerateTokenSets(config));
-  engine::SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.8, 5),
-                             &collection, 2);
-  bench::RunJoinScalingTable(
-      "Jaccard self-join (tau = 0.8, l = 2): engine thread scaling", adapter,
-      {2, 4});
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kSet;
+  spec.tau = 0.8;
+  spec.chain_length = 2;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateTokenSets(config))),
+      "open sets");
+  bench::RunDbJoinScalingTable(
+      "Jaccard self-join (tau = 0.8, l = 2): Db thread scaling", db, {2, 4});
 }
 
 }  // namespace

@@ -75,7 +75,7 @@ void RunPanel(const char* name, int avg_length, int num_records,
 }
 
 // Engine extension (not in the paper): an IMDB-like edit-distance
-// self-join through engine::SelfJoin, sequential vs sharded.
+// self-join through the public api::Db facade, sequential vs sharded.
 void RunJoinPanel() {
   datagen::StringConfig config;
   config.num_records = bench::Scaled(20000);
@@ -85,12 +85,16 @@ void RunJoinPanel() {
   config.seed = 5007;
   std::printf("[join] generating %d strings (avg length %d)...\n",
               config.num_records, config.avg_length);
-  const auto data = datagen::GenerateStrings(config);
-  engine::EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2),
-                              &data, editdist::EditFilter::kRing, 3);
-  bench::RunJoinScalingTable(
-      "Edit-distance self-join (tau = 2, l = 3): engine thread scaling",
-      adapter, {2, 4});
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateStrings(config))),
+      "open strings");
+  bench::RunDbJoinScalingTable(
+      "Edit-distance self-join (tau = 2, l = 3): Db thread scaling", db,
+      {2, 4});
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ void RunPanel(const char* name, const datagen::GraphConfig& base_config,
 }
 
 // Engine extension (not in the paper): an AIDS-like GED self-join through
-// engine::SelfJoin, sequential vs sharded.
+// the public api::Db facade, sequential vs sharded.
 void RunJoinPanel() {
   datagen::GraphConfig config;
   config.num_graphs = bench::Scaled(1000);
@@ -73,12 +73,15 @@ void RunJoinPanel() {
   config.max_perturb_ops = 2;
   config.seed = 7009;
   std::printf("[join] generating %d graphs...\n", config.num_graphs);
-  const auto data = datagen::GenerateGraphs(config);
-  engine::GraphAdapter adapter(graphed::GraphSearcher(&data, 2), &data,
-                               graphed::GraphFilter::kRing, 2);
-  bench::RunJoinScalingTable(
-      "GED self-join (tau = 2, l = 2): engine thread scaling", adapter,
-      {2, 4});
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kGraph;
+  spec.tau = 2;
+  spec.chain_length = 2;
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec, api::Dataset(datagen::GenerateGraphs(config))),
+      "open graphs");
+  bench::RunDbJoinScalingTable(
+      "GED self-join (tau = 2, l = 2): Db thread scaling", db, {2, 4});
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/db.h"
 #include "common/table.h"
 #include "engine/engine.h"
 
@@ -53,25 +55,25 @@ struct JoinTiming {
   double millis = 0;
 };
 
-/// Self-joins `adapter` sequentially and at each count in `thread_counts`,
-/// aborts if any parallel run diverges from the sequential pairs, and
-/// prints a threads / pairs / time / speedup table titled `title`. Returns
-/// the timings (sequential run first) so callers can export them.
-template <engine::Searcher S>
-inline std::vector<JoinTiming> RunJoinScalingTable(
-    const std::string& title, S& adapter,
-    const std::vector<int>& thread_counts, int64_t* pairs_out = nullptr) {
+namespace internal {
+
+/// Shared join-scaling harness: `run` executes one self-join at a thread
+/// count. The sequential run comes first, every parallel run must
+/// reproduce its pairs exactly, and the table reports the speedups.
+inline std::vector<JoinTiming> JoinScalingTable(
+    const std::string& title,
+    const std::function<std::vector<engine::IdPair>(int, engine::JoinStats*)>&
+        run,
+    const std::vector<int>& thread_counts, int64_t* pairs_out) {
   engine::JoinStats seq_stats;
-  const auto expected = engine::SelfJoin(adapter, {}, &seq_stats);
+  const auto expected = run(1, &seq_stats);
   std::vector<JoinTiming> timings = {{1, seq_stats.total_millis}};
   Table table(title, {"threads", "pairs", "time (ms)", "speedup"});
   table.AddRow({"1", Table::Int(seq_stats.pairs),
                 Table::Num(seq_stats.total_millis, 1), "1.00x"});
   for (int threads : thread_counts) {
-    engine::ExecutionOptions options;
-    options.num_threads = threads;
     engine::JoinStats stats;
-    const auto pairs = engine::SelfJoin(adapter, options, &stats);
+    const auto pairs = run(threads, &stats);
     if (pairs != expected) {
       std::fprintf(stderr, "FATAL: %d-thread join diverged from sequential\n",
                    threads);
@@ -89,6 +91,60 @@ inline std::vector<JoinTiming> RunJoinScalingTable(
   std::printf("\n");
   if (pairs_out != nullptr) *pairs_out = seq_stats.pairs;
   return timings;
+}
+
+}  // namespace internal
+
+/// Self-joins `adapter` sequentially and at each count in `thread_counts`,
+/// aborts if any parallel run diverges from the sequential pairs, and
+/// prints a threads / pairs / time / speedup table titled `title`. Returns
+/// the timings (sequential run first) so callers can export them.
+template <engine::Searcher S>
+inline std::vector<JoinTiming> RunJoinScalingTable(
+    const std::string& title, S& adapter,
+    const std::vector<int>& thread_counts, int64_t* pairs_out = nullptr) {
+  return internal::JoinScalingTable(
+      title,
+      [&](int threads, engine::JoinStats* stats) {
+        engine::ExecutionOptions options;
+        options.num_threads = threads;
+        return engine::SelfJoin(adapter, options, stats);
+      },
+      thread_counts, pairs_out);
+}
+
+/// The same scaling table through the public api::Db facade — what the
+/// engine-extension join panels run so they measure the path library
+/// users actually get.
+inline std::vector<JoinTiming> RunDbJoinScalingTable(
+    const std::string& title, api::Db& db,
+    const std::vector<int>& thread_counts, int64_t* pairs_out = nullptr) {
+  return internal::JoinScalingTable(
+      title,
+      [&](int threads, engine::JoinStats* stats) {
+        api::RunOptions options;
+        options.num_threads = threads;
+        auto join = db.SelfJoin(options);
+        if (!join.ok()) {
+          std::fprintf(stderr, "FATAL: SelfJoin failed: %s\n",
+                       join.status().ToString().c_str());
+          std::exit(1);
+        }
+        *stats = join->stats;
+        return std::move(join->pairs);
+      },
+      thread_counts, pairs_out);
+}
+
+/// Unwraps a StatusOr in bench context, aborting on error.
+template <typename T>
+inline T BenchUnwrap(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
 }
 
 }  // namespace pigeonring::bench

@@ -1,16 +1,19 @@
 // Quickstart: the pigeonring principle on the paper's running example
-// (Figure 1 / Examples 1-6), then a minimal Hamming distance search.
+// (Figure 1 / Examples 1-6), then the public api::Db facade — open a
+// generated dataset from a declarative spec, run one search and one
+// self-join, and handle errors through Status instead of crashes.
 //
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "api/db.h"
 #include "core/principle.h"
 #include "datagen/binary_vectors.h"
-#include "hamming/search.h"
 
 namespace {
 
@@ -36,6 +39,8 @@ void ShowLayout(const std::vector<double>& boxes, double n) {
 }  // namespace
 
 int main() {
+  using namespace pigeonring;
+
   std::printf("== The pigeonring principle (paper Figure 1) ==\n");
   std::printf(
       "Both layouts total 8 > n = 5 items, yet both pass the classic\n"
@@ -43,28 +48,75 @@ int main() {
   ShowLayout({2, 1, 2, 2, 1}, 5);  // filtered by the basic form at l = 2
   ShowLayout({2, 0, 3, 1, 2}, 5);  // needs the strong form at l = 2
 
-  std::printf("\n== Hamming distance search ==\n");
-  pigeonring::datagen::BinaryVectorConfig config;
+  std::printf("\n== Hamming distance search through api::Db ==\n");
+  datagen::BinaryVectorConfig config;
   config.dimensions = 128;
   config.num_objects = 20000;
   config.num_clusters = 400;
   config.seed = 7;
-  auto objects = pigeonring::datagen::GenerateBinaryVectors(config);
-  pigeonring::hamming::HammingSearcher searcher(objects);
+  auto objects = datagen::GenerateBinaryVectors(config);
 
-  const auto query = objects[42];
-  const int tau = 24;
-  for (int l : {1, 4}) {
-    pigeonring::hamming::SearchStats stats;
-    const auto results = searcher.Search(query, tau, l,
-                                         pigeonring::hamming::AllocationMode::kCostModel,
-                                         &stats);
-    std::printf(
-        "tau=%d chain_length=%d: %lld candidates -> %zu results "
-        "(%.3f ms)\n",
-        tau, l, static_cast<long long>(stats.candidates), results.size(),
-        stats.total_millis);
+  // One declarative spec replaces hand-wiring a searcher + adapter. The
+  // same IndexSpec opens set / string / graph datasets by switching
+  // `domain`; Db::Open also accepts a dataset file path.
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 24;
+  spec.chain_length = 4;  // l > 1 enables the pigeonring filter
+  auto opened = api::Db::Open(spec, api::Dataset(std::move(objects)));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
   }
+  api::Db db = std::move(opened).value();
+
+  // One search: record 42 as the query (every fallible call returns
+  // StatusOr, never aborts).
+  auto query = db.RecordQuery(42);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto search = db.Search(*query);
+  if (!search.ok()) {
+    std::fprintf(stderr, "%s\n", search.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "search: tau=%d chain_length=%d: %lld candidates -> %zu results "
+      "(%.3f ms)\n",
+      static_cast<int>(spec.tau), spec.chain_length,
+      static_cast<long long>(search->stats.candidates), search->ids.size(),
+      search->stats.total_millis);
+
+  // One self-join: every near-duplicate pair in the collection. A join is
+  // a different workload, so it gets its own spec — a tighter threshold
+  // (the pair list stays small) and the same dataset reopened.
+  api::IndexSpec join_spec = spec;
+  join_spec.tau = 4;
+  join_spec.chain_length = 2;
+  auto join_db =
+      api::Db::Open(join_spec,
+                    api::Dataset(datagen::GenerateBinaryVectors(config)));
+  if (!join_db.ok()) {
+    std::fprintf(stderr, "%s\n", join_db.status().ToString().c_str());
+    return 1;
+  }
+  auto join = join_db->SelfJoin();
+  if (!join.ok()) {
+    std::fprintf(stderr, "%s\n", join.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("self-join: %lld pairs within tau=%d (%.1f ms)\n",
+              static_cast<long long>(join->stats.pairs),
+              static_cast<int>(join_spec.tau), join->stats.total_millis);
+
+  // Errors are values, not aborts: a bad open reports what went wrong.
+  auto missing = api::Db::Open(spec, "does-not-exist.ds");
+  std::printf("opening a missing file is a typed error: %s\n",
+              missing.status().ToString().c_str());
+
   std::printf(
       "\nchain_length=1 is the pigeonhole baseline (GPH); longer chains\n"
       "apply the pigeonring principle and shrink the candidate set while\n"

@@ -1,0 +1,432 @@
+#include "api/db.h"
+
+#include <utility>
+
+#include "editdist/pivotal.h"
+#include "engine/engine.h"
+#include "graphed/pars.h"
+#include "hamming/search.h"
+#include "io/dataset_io.h"
+#include "setsim/pkwise.h"
+
+namespace pigeonring::api {
+
+namespace internal {
+
+// The type-erasure bridge: one virtual interface over the compile-time
+// engine::Searcher concept. Virtual dispatch happens once per Db call; the
+// templated engine drivers run underneath unchanged.
+class AnySearcher {
+ public:
+  virtual ~AnySearcher() = default;
+  virtual int size() const = 0;
+  virtual StatusOr<Query> RecordQuery(int id) const = 0;
+  /// Domain + shape check; queries passed to the Search* calls below must
+  /// have been validated.
+  virtual Status ValidateQuery(const Query& query) const = 0;
+  virtual std::vector<int> SearchOne(const Query& query,
+                                     engine::QueryStats* stats) = 0;
+  virtual std::vector<std::vector<int>> SearchBatch(
+      const std::vector<Query>& queries,
+      const engine::ExecutionOptions& options, engine::QueryStats* stats) = 0;
+  virtual std::vector<engine::IdPair> SelfJoin(
+      const engine::ExecutionOptions& options, engine::JoinStats* stats) = 0;
+};
+
+namespace {
+
+Status QueryDomainError(Domain query_domain, Domain index_domain) {
+  return Status::InvalidArgument(
+      "query is a " + std::string(DomainName(query_domain)) +
+      " query but the index domain is " + DomainName(index_domain));
+}
+
+// CRTP base: Derived supplies ToDomain(query) -> S::Query; the batch and
+// join entry points forward to the templated engine drivers, so the only
+// erased work per call is the query-list conversion.
+template <typename Derived, engine::Searcher S>
+class ModelBase : public AnySearcher {
+ public:
+  explicit ModelBase(S adapter) : adapter_(std::move(adapter)) {}
+
+  int size() const override { return adapter_.size(); }
+
+  std::vector<int> SearchOne(const Query& query,
+                             engine::QueryStats* stats) override {
+    return adapter_.Search(derived().ToDomain(query), stats);
+  }
+
+  std::vector<std::vector<int>> SearchBatch(
+      const std::vector<Query>& queries,
+      const engine::ExecutionOptions& options,
+      engine::QueryStats* stats) override {
+    std::vector<typename S::Query> domain_queries;
+    domain_queries.reserve(queries.size());
+    for (const Query& query : queries) {
+      domain_queries.push_back(derived().ToDomain(query));
+    }
+    return engine::SearchBatch(adapter_, domain_queries, options, stats);
+  }
+
+  std::vector<engine::IdPair> SelfJoin(const engine::ExecutionOptions& options,
+                                       engine::JoinStats* stats) override {
+    return engine::SelfJoin(adapter_, options, stats);
+  }
+
+ protected:
+  const Derived& derived() const {
+    return static_cast<const Derived&>(*this);
+  }
+
+  S adapter_;
+};
+
+class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
+ public:
+  HammingModel(engine::HammingAdapter adapter, int dimensions)
+      : ModelBase(std::move(adapter)), dimensions_(dimensions) {}
+
+  Status ValidateQuery(const Query& query) const override {
+    if (!std::holds_alternative<BitVector>(query)) {
+      return QueryDomainError(QueryDomain(query), Domain::kHamming);
+    }
+    const int d = std::get<BitVector>(query).dimensions();
+    if (adapter_.size() > 0 && d != dimensions_) {
+      return Status::InvalidArgument(
+          "query has " + std::to_string(d) +
+          " dimensions but the index has " + std::to_string(dimensions_));
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Query> RecordQuery(int id) const override {
+    return Query(adapter_.query(id));
+  }
+
+  const BitVector& ToDomain(const Query& query) const {
+    return std::get<BitVector>(query);
+  }
+
+ private:
+  int dimensions_;
+};
+
+class SetModel : public ModelBase<SetModel, engine::SetAdapter> {
+ public:
+  SetModel(std::unique_ptr<setsim::SetCollection> collection,
+           engine::SetAdapter adapter)
+      : ModelBase(std::move(adapter)), collection_(std::move(collection)) {}
+
+  Status ValidateQuery(const Query& query) const override {
+    if (!std::holds_alternative<SetQuery>(query)) {
+      return QueryDomainError(QueryDomain(query), Domain::kSet);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Query> RecordQuery(int id) const override {
+    return Query(SetQuery{collection_->record(id), /*ranked=*/true});
+  }
+
+  setsim::RankedSet ToDomain(const Query& query) const {
+    const SetQuery& set_query = std::get<SetQuery>(query);
+    if (set_query.ranked) return set_query.tokens;
+    return collection_->MapQuery(set_query.tokens);
+  }
+
+ private:
+  std::unique_ptr<setsim::SetCollection> collection_;
+};
+
+class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
+ public:
+  EditModel(std::unique_ptr<std::vector<std::string>> data,
+            engine::EditAdapter adapter)
+      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+
+  Status ValidateQuery(const Query& query) const override {
+    if (!std::holds_alternative<std::string>(query)) {
+      return QueryDomainError(QueryDomain(query), Domain::kEdit);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Query> RecordQuery(int id) const override {
+    return Query((*data_)[id]);
+  }
+
+  const std::string& ToDomain(const Query& query) const {
+    return std::get<std::string>(query);
+  }
+
+ private:
+  std::unique_ptr<std::vector<std::string>> data_;
+};
+
+class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
+ public:
+  GraphModel(std::unique_ptr<std::vector<graphed::Graph>> data,
+             engine::GraphAdapter adapter)
+      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+
+  Status ValidateQuery(const Query& query) const override {
+    if (!std::holds_alternative<graphed::Graph>(query)) {
+      return QueryDomainError(QueryDomain(query), Domain::kGraph);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Query> RecordQuery(int id) const override {
+    return Query((*data_)[id]);
+  }
+
+  const graphed::Graph& ToDomain(const Query& query) const {
+    return std::get<graphed::Graph>(query);
+  }
+
+ private:
+  std::unique_ptr<std::vector<graphed::Graph>> data_;
+};
+
+bool RingEnabled(const IndexSpec& spec) {
+  switch (spec.filter) {
+    case FilterMode::kBaseline:
+      return false;
+    case FilterMode::kRing:
+      return true;
+    case FilterMode::kAuto:
+      break;
+  }
+  return spec.chain_length > 1;
+}
+
+StatusOr<std::unique_ptr<AnySearcher>> BuildHamming(
+    const IndexSpec& spec, std::vector<BitVector> objects) {
+  int dimensions = 0;
+  if (!objects.empty()) {
+    dimensions = objects.front().dimensions();
+    for (const BitVector& v : objects) {
+      if (v.dimensions() != dimensions) {
+        return Status::InvalidArgument(
+            "inconsistent dimensionalities in the dataset: " +
+            std::to_string(dimensions) + " vs " +
+            std::to_string(v.dimensions()));
+      }
+    }
+  }
+  // Resolve the partition count the searcher will use so its PR_CHECK
+  // preconditions become typed errors. An empty collection indexes a
+  // single degenerate part.
+  int num_parts = 1;
+  if (!objects.empty()) {
+    num_parts = spec.num_parts > 0 ? spec.num_parts
+                                   : std::max(1, dimensions / 16);
+    if (num_parts > dimensions) {
+      return Status::InvalidArgument(
+          "num_parts=" + std::to_string(num_parts) + " exceeds the " +
+          std::to_string(dimensions) + " dimensions of the dataset");
+    }
+    if ((dimensions + num_parts - 1) / num_parts > 64) {
+      return Status::InvalidArgument(
+          "num_parts=" + std::to_string(num_parts) +
+          " gives parts wider than 64 bits at d=" +
+          std::to_string(dimensions) + "; use at least " +
+          std::to_string((dimensions + 63) / 64) + " parts");
+    }
+    if (num_parts > 64) {
+      return Status::InvalidArgument(
+          "num_parts=" + std::to_string(num_parts) +
+          " exceeds the 64-part limit of the chain bitmask");
+    }
+    if (spec.chain_length > num_parts) {
+      return Status::InvalidArgument(
+          "chain_length=" + std::to_string(spec.chain_length) +
+          " exceeds the " + std::to_string(num_parts) +
+          " partitions of a d=" + std::to_string(dimensions) + " index");
+    }
+  }
+  const int chain = RingEnabled(spec) ? spec.chain_length : 1;
+  engine::HammingAdapter adapter(
+      hamming::HammingSearcher(std::move(objects), num_parts),
+      static_cast<int>(spec.tau), chain, spec.allocation);
+  return std::unique_ptr<AnySearcher>(
+      new HammingModel(std::move(adapter), dimensions));
+}
+
+StatusOr<std::unique_ptr<AnySearcher>> BuildSet(
+    const IndexSpec& spec, std::vector<std::vector<int>> raw) {
+  auto collection = std::make_unique<setsim::SetCollection>(raw);
+  setsim::PkwiseSearcher searcher(collection.get(), spec.tau, spec.num_boxes,
+                                  spec.measure);
+  const int chain = RingEnabled(spec) ? spec.chain_length : 1;
+  engine::SetAdapter adapter(std::move(searcher), collection.get(), chain);
+  return std::unique_ptr<AnySearcher>(
+      new SetModel(std::move(collection), std::move(adapter)));
+}
+
+StatusOr<std::unique_ptr<AnySearcher>> BuildEdit(
+    const IndexSpec& spec, std::vector<std::string> strings) {
+  auto data =
+      std::make_unique<std::vector<std::string>>(std::move(strings));
+  editdist::EditDistanceSearcher searcher(
+      data.get(), static_cast<int>(spec.tau), spec.kappa);
+  const editdist::EditFilter filter = RingEnabled(spec)
+                                          ? editdist::EditFilter::kRing
+                                          : editdist::EditFilter::kPivotal;
+  engine::EditAdapter adapter(std::move(searcher), data.get(), filter,
+                              spec.chain_length);
+  return std::unique_ptr<AnySearcher>(
+      new EditModel(std::move(data), std::move(adapter)));
+}
+
+StatusOr<std::unique_ptr<AnySearcher>> BuildGraph(
+    const IndexSpec& spec, std::vector<graphed::Graph> graphs) {
+  auto data =
+      std::make_unique<std::vector<graphed::Graph>>(std::move(graphs));
+  graphed::GraphSearcher searcher(data.get(), static_cast<int>(spec.tau),
+                                  spec.partition_seed);
+  const graphed::GraphFilter filter = RingEnabled(spec)
+                                          ? graphed::GraphFilter::kRing
+                                          : graphed::GraphFilter::kPars;
+  engine::GraphAdapter adapter(std::move(searcher), data.get(), filter,
+                               spec.chain_length);
+  return std::unique_ptr<AnySearcher>(
+      new GraphModel(std::move(data), std::move(adapter)));
+}
+
+}  // namespace
+}  // namespace internal
+
+Db::Db(IndexSpec spec, std::unique_ptr<internal::AnySearcher> searcher)
+    : spec_(std::move(spec)), searcher_(std::move(searcher)) {}
+
+Db::Db(Db&&) noexcept = default;
+Db& Db::operator=(Db&&) noexcept = default;
+Db::~Db() = default;
+
+StatusOr<Db> Db::Open(const IndexSpec& spec, Dataset dataset) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  if (DatasetDomain(dataset) != spec.domain) {
+    return Status::InvalidArgument(
+        "dataset holds " + std::string(DomainName(DatasetDomain(dataset))) +
+        " records but the spec's domain is " + DomainName(spec.domain));
+  }
+  StatusOr<std::unique_ptr<internal::AnySearcher>> searcher = [&] {
+    switch (spec.domain) {
+      case Domain::kHamming:
+        return internal::BuildHamming(
+            spec, std::get<std::vector<BitVector>>(std::move(dataset)));
+      case Domain::kSet:
+        return internal::BuildSet(
+            spec,
+            std::get<std::vector<std::vector<int>>>(std::move(dataset)));
+      case Domain::kEdit:
+        return internal::BuildEdit(
+            spec, std::get<std::vector<std::string>>(std::move(dataset)));
+      case Domain::kGraph:
+        break;
+    }
+    return internal::BuildGraph(
+        spec, std::get<std::vector<graphed::Graph>>(std::move(dataset)));
+  }();
+  if (!searcher.ok()) return searcher.status();
+  return Db(spec, std::move(searcher).value());
+}
+
+StatusOr<Db> Db::Open(const IndexSpec& spec,
+                      const std::string& dataset_path) {
+  // Validate before touching the filesystem so spec errors win over load
+  // errors, and load in the domain's format.
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  switch (spec.domain) {
+    case Domain::kHamming: {
+      auto loaded = io::LoadBitVectors(dataset_path);
+      if (!loaded.ok()) return loaded.status();
+      return Open(spec, Dataset(std::move(loaded).value()));
+    }
+    case Domain::kSet: {
+      auto loaded = io::LoadTokenSets(dataset_path);
+      if (!loaded.ok()) return loaded.status();
+      return Open(spec, Dataset(std::move(loaded).value()));
+    }
+    case Domain::kEdit: {
+      auto loaded = io::LoadStrings(dataset_path);
+      if (!loaded.ok()) return loaded.status();
+      return Open(spec, Dataset(std::move(loaded).value()));
+    }
+    case Domain::kGraph:
+      break;
+  }
+  auto loaded = io::LoadGraphs(dataset_path);
+  if (!loaded.ok()) return loaded.status();
+  return Open(spec, Dataset(std::move(loaded).value()));
+}
+
+int Db::num_records() const { return searcher_->size(); }
+
+StatusOr<Query> Db::RecordQuery(int id) const {
+  if (id < 0 || id >= searcher_->size()) {
+    return Status::OutOfRange("record id " + std::to_string(id) +
+                              " outside [0, " +
+                              std::to_string(searcher_->size()) + ")");
+  }
+  return searcher_->RecordQuery(id);
+}
+
+StatusOr<SearchResult> Db::Search(const Query& query) {
+  Status valid = searcher_->ValidateQuery(query);
+  if (!valid.ok()) return valid;
+  SearchResult result;
+  result.ids = searcher_->SearchOne(query, &result.stats);
+  return result;
+}
+
+namespace {
+
+// Negative RunOptions fields defer to the spec; explicit values get the
+// same validation the spec-level fields do (chunk 0 is an error, not a
+// silent fallback; num_threads 0 means hardware concurrency).
+StatusOr<engine::ExecutionOptions> ResolveOptions(const IndexSpec& spec,
+                                                  const RunOptions& options) {
+  engine::ExecutionOptions resolved;
+  resolved.num_threads =
+      options.num_threads >= 0 ? options.num_threads : spec.num_threads;
+  resolved.chunk = options.chunk >= 0 ? options.chunk : spec.chunk;
+  if (resolved.chunk < 1) {
+    return Status::InvalidArgument("chunk=" +
+                                   std::to_string(resolved.chunk) +
+                                   " is invalid: expected >= 1");
+  }
+  return resolved;
+}
+
+}  // namespace
+
+StatusOr<BatchResult> Db::SearchBatch(const std::vector<Query>& queries,
+                                      const RunOptions& options) {
+  auto resolved = ResolveOptions(spec_, options);
+  if (!resolved.ok()) return resolved.status();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status valid = searcher_->ValidateQuery(queries[i]);
+    if (!valid.ok()) {
+      return Status(valid.code(),
+                    "query " + std::to_string(i) + ": " + valid.message());
+    }
+  }
+  BatchResult result;
+  result.ids =
+      searcher_->SearchBatch(queries, resolved.value(), &result.stats);
+  return result;
+}
+
+StatusOr<JoinResult> Db::SelfJoin(const RunOptions& options) {
+  auto resolved = ResolveOptions(spec_, options);
+  if (!resolved.ok()) return resolved.status();
+  JoinResult result;
+  result.pairs = searcher_->SelfJoin(resolved.value(), &result.stats);
+  return result;
+}
+
+}  // namespace pigeonring::api

@@ -1,0 +1,134 @@
+// pigeonring::api::Db — the library's stable, runtime-polymorphic face.
+//
+// A Db is opened from a declarative IndexSpec plus a dataset (in memory or
+// on disk) and answers thresholded similarity queries in whichever of the
+// four §6 domains the spec names:
+//
+//   auto db = api::Db::Open(spec, "vectors.ds");
+//   if (!db.ok()) { ... db.status() ... }
+//   auto result = db->Search(query);           // StatusOr<SearchResult>
+//   auto batch  = db->SearchBatch(queries);    // StatusOr<BatchResult>
+//   auto join   = db->SelfJoin();              // StatusOr<JoinResult>
+//
+// Every fallible step returns Status / StatusOr — spec validation, dataset
+// loading, query/domain mismatches — never exit() or a PR_CHECK abort.
+//
+// Type-erasure boundary and its cost model: Db wraps the compile-time
+// engine::Searcher concept behind one virtual interface (internal
+// AnySearcher), but the erasure happens at the *batch* boundary, not per
+// probe. A SearchBatch or SelfJoin call costs exactly one virtual dispatch
+// plus one conversion of the query list into the domain representation;
+// inside, the templated engine::SearchBatch / engine::SelfJoin drivers,
+// their thread-pool sharding, and the per-candidate kernels run unchanged
+// and fully inlined. Search costs one virtual call per query — fine for
+// interactive use; batch paths stay within noise of the templated drivers
+// (bench_engine_scaling's facade panel measures this).
+//
+// Threading: spec.num_threads / spec.chunk are the defaults; RunOptions
+// overrides them per call. Results are byte-identical at every thread
+// count (the engine's determinism guarantee).
+//
+// A Db is movable but not copyable, and not concurrently shareable: calls
+// mutate per-query scratch. Parallelism lives *inside* SearchBatch /
+// SelfJoin, which shard over their own thread-pool clones.
+
+#ifndef PIGEONRING_API_DB_H_
+#define PIGEONRING_API_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "common/status.h"
+#include "engine/query_stats.h"
+
+namespace pigeonring::api {
+
+/// Engine counter types, re-exported as part of the public surface.
+using QueryStats = engine::QueryStats;
+using JoinStats = engine::JoinStats;
+using IdPair = engine::IdPair;
+
+/// One query's matches (record ids into the opened dataset) and counters.
+struct SearchResult {
+  std::vector<int> ids;
+  QueryStats stats;
+};
+
+/// Per-query result lists in input order, plus counters summed over the
+/// batch (its *_millis fields are summed per-query times, not wall-clock).
+struct BatchResult {
+  std::vector<std::vector<int>> ids;
+  QueryStats stats;
+};
+
+/// All matching unordered pairs (i < j, sorted) and join counters.
+struct JoinResult {
+  std::vector<IdPair> pairs;
+  JoinStats stats;
+};
+
+/// Per-call overrides of the spec's execution defaults. Negative fields
+/// keep the spec's setting; explicit values are validated like their
+/// spec-level counterparts (chunk must be >= 1, num_threads 0 means
+/// hardware concurrency).
+struct RunOptions {
+  int num_threads = -1;  // -1 = spec.num_threads; 0 = hardware concurrency
+  int chunk = -1;        // -1 = spec.chunk
+};
+
+namespace internal {
+class AnySearcher;
+}
+
+class Db {
+ public:
+  /// Validates `spec` against `dataset` and builds the domain index.
+  /// Typed errors: invalid spec fields, dataset/domain mismatch,
+  /// inconsistent record dimensionalities.
+  static StatusOr<Db> Open(const IndexSpec& spec, Dataset dataset);
+
+  /// Loads the dataset at `dataset_path` in the spec's domain format
+  /// (io/dataset_io.h), then opens it. Load errors (missing file,
+  /// malformed content) surface as the loader's Status.
+  static StatusOr<Db> Open(const IndexSpec& spec,
+                           const std::string& dataset_path);
+
+  Db(Db&&) noexcept;
+  Db& operator=(Db&&) noexcept;
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+  ~Db();
+
+  const IndexSpec& spec() const { return spec_; }
+  Domain domain() const { return spec_.domain; }
+  int num_records() const;
+
+  /// Record `id` of the opened dataset viewed as a query (the paper's
+  /// sample-queries-from-the-dataset protocol). kOutOfRange for bad ids.
+  StatusOr<Query> RecordQuery(int id) const;
+
+  /// Ids of all records matching `query` under the spec's threshold.
+  /// kInvalidArgument if the query's domain or shape does not match.
+  StatusOr<SearchResult> Search(const Query& query);
+
+  /// Runs every query; result lists are in input order regardless of
+  /// threading. Fails (without running) if any query mismatches.
+  StatusOr<BatchResult> SearchBatch(const std::vector<Query>& queries,
+                                    const RunOptions& options = {});
+
+  /// Joins the dataset with itself: every unordered pair within the
+  /// threshold, each exactly once, sorted.
+  StatusOr<JoinResult> SelfJoin(const RunOptions& options = {});
+
+ private:
+  Db(IndexSpec spec, std::unique_ptr<internal::AnySearcher> searcher);
+
+  IndexSpec spec_;
+  std::unique_ptr<internal::AnySearcher> searcher_;
+};
+
+}  // namespace pigeonring::api
+
+#endif  // PIGEONRING_API_DB_H_

@@ -1,6 +1,9 @@
 #include "io/dataset_io.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace pigeonring::io {
@@ -93,13 +96,24 @@ StatusOr<std::vector<std::vector<int>>> LoadTokenSets(
     ++line_no;
     std::vector<int> set;
     std::istringstream fields(line);
-    long long token;
-    while (fields >> token) {
+    std::string field;
+    // Parse each whitespace-separated field explicitly: stream extraction
+    // into an integer cannot distinguish "overflowed at end of line" from
+    // a clean end (both set eofbit), which used to drop such tokens
+    // silently.
+    while (fields >> field) {
+      errno = 0;
+      char* end = nullptr;
+      const long long token = std::strtoll(field.c_str(), &end, 10);
+      if (*end != '\0' || end == field.c_str()) {
+        return LineError(path, line_no, "non-integer token '" + field + "'");
+      }
       if (token < 0) return LineError(path, line_no, "negative token id");
+      if (errno == ERANGE || token > std::numeric_limits<int>::max()) {
+        return LineError(path, line_no,
+                         "token '" + field + "' out of range");
+      }
       set.push_back(static_cast<int>(token));
-    }
-    if (!fields.eof()) {
-      return LineError(path, line_no, "non-integer token");
     }
     sets.push_back(std::move(set));
   }

@@ -1,0 +1,493 @@
+// Tests for the public api::Db facade.
+//
+// The load-bearing suite is the golden diff: for every domain, searches
+// and self-joins through the type-erased Db must produce exactly the ids,
+// pairs, and deterministic counters of the pre-redesign path (a hand-wired
+// engine adapter over the domain searcher, the way the CLI and benches
+// used to be written). The rest covers the typed error surface: spec
+// validation, dataset/domain and query/domain mismatches, and the
+// facade's threading overrides.
+
+#include "api/db.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/binary_vectors.h"
+#include "datagen/graphs.h"
+#include "datagen/strings.h"
+#include "datagen/token_sets.h"
+#include "engine/engine.h"
+#include "io/dataset_io.h"
+#include "setsim/pkwise.h"
+
+namespace pigeonring::api {
+namespace {
+
+std::vector<BitVector> MakeVectors(int n, int dim, uint64_t seed) {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = dim;
+  config.num_objects = n;
+  config.num_clusters = 20;
+  config.cluster_fraction = 0.6;
+  config.flip_rate = 0.05;
+  config.seed = seed;
+  return datagen::GenerateBinaryVectors(config);
+}
+
+std::vector<std::vector<int>> MakeSets(int n, uint64_t seed) {
+  datagen::TokenSetConfig config;
+  config.num_records = n;
+  config.avg_tokens = 12;
+  config.universe_size = 3 * n;
+  config.duplicate_fraction = 0.4;
+  config.seed = seed;
+  return datagen::GenerateTokenSets(config);
+}
+
+std::vector<std::string> MakeStrings(int n, uint64_t seed) {
+  datagen::StringConfig config;
+  config.num_records = n;
+  config.avg_length = 14;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = seed;
+  return datagen::GenerateStrings(config);
+}
+
+std::vector<graphed::Graph> MakeGraphs(int n, uint64_t seed) {
+  datagen::GraphConfig config;
+  config.num_graphs = n;
+  config.avg_vertices = 8;
+  config.avg_edges = 9;
+  config.vertex_labels = 8;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_ops = 2;
+  config.seed = seed;
+  return datagen::GenerateGraphs(config);
+}
+
+// Deterministic counters only — wall clock is never comparable.
+void ExpectSameCounters(const engine::QueryStats& a,
+                        const engine::QueryStats& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.candidates_stage2, b.candidates_stage2);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.index_hits, b.index_hits);
+  EXPECT_EQ(a.chain_checks, b.chain_checks);
+  EXPECT_EQ(a.subiso_tests, b.subiso_tests);
+}
+
+// Runs the same workload through a hand-wired adapter (the pre-redesign
+// consumer path) and through the Db facade, and requires byte-identical
+// ids, pairs, and counters.
+template <engine::Searcher S>
+void ExpectFacadeMatchesAdapter(S& adapter, StatusOr<Db> opened,
+                                const std::vector<int>& query_ids) {
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db db = std::move(opened).value();
+  ASSERT_EQ(db.num_records(), adapter.size());
+
+  // Search batch: ids in input order + summed counters.
+  std::vector<typename S::Query> adapter_queries;
+  std::vector<Query> db_queries;
+  for (int id : query_ids) {
+    adapter_queries.push_back(adapter.query(id));
+    auto query = db.RecordQuery(id);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    db_queries.push_back(std::move(query).value());
+  }
+  engine::QueryStats adapter_stats;
+  const auto expected_ids =
+      engine::SearchBatch(adapter, adapter_queries, {}, &adapter_stats);
+  auto batch = db.SearchBatch(db_queries);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->ids, expected_ids);
+  ExpectSameCounters(batch->stats, adapter_stats);
+
+  // Single search: same as its batch slot.
+  auto single = db.Search(db_queries.front());
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->ids, expected_ids.front());
+
+  // Self-join: pairs + counters.
+  engine::JoinStats adapter_join;
+  const auto expected_pairs = engine::SelfJoin(adapter, {}, &adapter_join);
+  auto join = db.SelfJoin();
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_EQ(join->pairs, expected_pairs);
+  EXPECT_EQ(join->stats.pairs, adapter_join.pairs);
+  EXPECT_EQ(join->stats.candidates, adapter_join.candidates);
+}
+
+TEST(DbGoldenDiffTest, Hamming) {
+  const auto objects = MakeVectors(400, 64, 71);
+  engine::HammingAdapter adapter(hamming::HammingSearcher(objects), 8, 3);
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 3;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(objects)),
+                             {0, 7, 42, 113, 399});
+}
+
+TEST(DbGoldenDiffTest, Sets) {
+  const auto raw = MakeSets(400, 73);
+  setsim::SetCollection collection(raw);
+  engine::SetAdapter adapter(setsim::PkwiseSearcher(&collection, 0.7, 5),
+                             &collection, 2);
+  IndexSpec spec;
+  spec.domain = Domain::kSet;
+  spec.tau = 0.7;
+  spec.chain_length = 2;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(raw)),
+                             {1, 17, 200, 399});
+}
+
+TEST(DbGoldenDiffTest, Strings) {
+  const auto data = MakeStrings(300, 79);
+  engine::EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2),
+                              &data, editdist::EditFilter::kRing, 3);
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(data)),
+                             {0, 50, 150, 299});
+}
+
+TEST(DbGoldenDiffTest, StringsBaselineFilter) {
+  // chain_length 1 + kAuto must select the Pivotal baseline, exactly like
+  // the pre-redesign search path did.
+  const auto data = MakeStrings(250, 81);
+  engine::EditAdapter adapter(editdist::EditDistanceSearcher(&data, 2, 2),
+                              &data, editdist::EditFilter::kPivotal, 1);
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 1;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(data)),
+                             {3, 99, 249});
+}
+
+TEST(DbGoldenDiffTest, Graphs) {
+  const auto data = MakeGraphs(120, 83);
+  engine::GraphAdapter adapter(graphed::GraphSearcher(&data, 2), &data,
+                               graphed::GraphFilter::kRing, 2);
+  IndexSpec spec;
+  spec.domain = Domain::kGraph;
+  spec.tau = 2;
+  spec.chain_length = 2;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(data)),
+                             {0, 30, 119});
+}
+
+TEST(DbTest, ParallelRunsMatchSequentialThroughFacade) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 3;
+  auto db = Db::Open(spec, Dataset(MakeVectors(400, 64, 91)));
+  ASSERT_TRUE(db.ok());
+
+  auto seq = db->SelfJoin();
+  ASSERT_TRUE(seq.ok());
+  std::vector<Query> queries;
+  for (int id = 0; id < 40; ++id) {
+    queries.push_back(std::move(db->RecordQuery(id)).value());
+  }
+  auto seq_batch = db->SearchBatch(queries);
+  ASSERT_TRUE(seq_batch.ok());
+
+  for (int threads : {2, 4}) {
+    RunOptions options;
+    options.num_threads = threads;
+    options.chunk = 3;
+    auto par = db->SelfJoin(options);
+    ASSERT_TRUE(par.ok());
+    EXPECT_EQ(par->pairs, seq->pairs) << threads << " threads";
+    EXPECT_EQ(par->stats.candidates, seq->stats.candidates);
+    auto par_batch = db->SearchBatch(queries, options);
+    ASSERT_TRUE(par_batch.ok());
+    EXPECT_EQ(par_batch->ids, seq_batch->ids) << threads << " threads";
+    ExpectSameCounters(par_batch->stats, seq_batch->stats);
+  }
+}
+
+TEST(DbTest, RunOptionsAreValidatedLikeTheSpec) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  auto db = Db::Open(spec, Dataset(MakeVectors(30, 64, 11)));
+  ASSERT_TRUE(db.ok());
+  RunOptions options;
+  options.chunk = 0;  // explicit 0 is an error, not a silent fallback
+  EXPECT_EQ(db->SelfJoin(options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->SearchBatch({}, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.chunk = -5;  // any negative defers to the spec
+  EXPECT_TRUE(db->SelfJoin(options).ok());
+}
+
+TEST(DbTest, OpensFromDatasetFile) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pigeonring_api_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "vectors.ds").string();
+  const auto objects = MakeVectors(150, 64, 17);
+  ASSERT_TRUE(io::SaveBitVectors(path, objects).ok());
+
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 6;
+  spec.chain_length = 2;
+  auto from_file = Db::Open(spec, path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().ToString();
+  auto from_memory = Db::Open(spec, Dataset(objects));
+  ASSERT_TRUE(from_memory.ok());
+
+  auto query = from_memory->RecordQuery(3);
+  ASSERT_TRUE(query.ok());
+  auto a = from_file->Search(*query);
+  auto b = from_memory->Search(*query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ids, b->ids);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DbTest, MissingDatasetFileIsNotFound) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  auto db = Db::Open(spec, "/nonexistent/pigeonring.ds");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DbTest, RawSetQueriesAreMappedThroughTheDictionary) {
+  const auto raw = MakeSets(200, 23);
+  IndexSpec spec;
+  spec.domain = Domain::kSet;
+  spec.tau = 0.6;
+  spec.chain_length = 2;
+  auto db = Db::Open(spec, Dataset(raw));
+  ASSERT_TRUE(db.ok());
+
+  setsim::SetCollection collection(raw);
+  // Record 5's *raw* tokens (with one token the dictionary has never
+  // seen) must match brute force over the mapped query.
+  std::vector<int> tokens = raw[5];
+  tokens.push_back(999999999);  // absent from the data: inert but counted
+  auto result = db->Search(Query(SetQuery{tokens}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto expected = setsim::BruteForceJaccardSearch(
+      collection, collection.MapQuery(tokens), 0.6);
+  EXPECT_EQ(result->ids, expected);
+}
+
+TEST(DbTest, QueryDomainMismatchIsTyped) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  auto db = Db::Open(spec, Dataset(MakeVectors(50, 64, 5)));
+  ASSERT_TRUE(db.ok());
+
+  auto bad = db->Search(Query(std::string("not a bit vector")));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Wrong dimensionality is rejected, not PR_CHECK-aborted.
+  auto narrow = db->Search(Query(BitVector(32)));
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.status().code(), StatusCode::kInvalidArgument);
+
+  // A mismatched query anywhere in a batch fails the whole batch with its
+  // index in the message.
+  std::vector<Query> queries = {std::move(db->RecordQuery(0)).value(),
+                                Query(std::string("oops"))};
+  auto batch = db->SearchBatch(queries);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("query 1"), std::string::npos)
+      << batch.status().ToString();
+}
+
+TEST(DbTest, RecordQueryRangeChecked) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 1;
+  auto db = Db::Open(spec, Dataset(MakeStrings(10, 3)));
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db->RecordQuery(-1).ok());
+  EXPECT_FALSE(db->RecordQuery(10).ok());
+  EXPECT_EQ(db->RecordQuery(10).status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(db->RecordQuery(9).ok());
+}
+
+TEST(DbTest, DatasetDomainMismatchIsTyped) {
+  IndexSpec spec;
+  spec.domain = Domain::kGraph;
+  spec.tau = 2;
+  auto db = Db::Open(spec, Dataset(MakeStrings(10, 3)));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(db.status().message().find("strings"), std::string::npos);
+}
+
+TEST(DbTest, InconsistentDimensionsRejected) {
+  std::vector<BitVector> mixed = {BitVector(64), BitVector(32)};
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  auto db = Db::Open(spec, Dataset(std::move(mixed)));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DbTest, EmptyDatasetOpensAndJoinsToNothing) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  spec.chain_length = 2;
+  auto db = Db::Open(spec, Dataset(std::vector<BitVector>{}));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->num_records(), 0);
+  auto join = db->SelfJoin();
+  ASSERT_TRUE(join.ok());
+  EXPECT_TRUE(join->pairs.empty());
+  EXPECT_FALSE(db->RecordQuery(0).ok());
+}
+
+TEST(DbTest, DbIsMovable) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 1;
+  auto opened = Db::Open(spec, Dataset(MakeStrings(50, 29)));
+  ASSERT_TRUE(opened.ok());
+  Db db = std::move(opened).value();
+  auto query = db.RecordQuery(7);
+  ASSERT_TRUE(query.ok());
+  const auto before = std::move(db.Search(*query)).value().ids;
+  Db moved = std::move(db);
+  EXPECT_EQ(moved.num_records(), 50);
+  EXPECT_EQ(std::move(moved.Search(*query)).value().ids, before);
+}
+
+TEST(SpecValidationTest, BadThresholds) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = -1;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tau = 3.5;  // distances are integral
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tau = 8;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.domain = Domain::kSet;
+  spec.tau = 1.2;  // Jaccard lives in (0, 1]
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tau = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tau = 0.8;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.measure = setsim::SetMeasure::kOverlap;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.tau = 3;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec = IndexSpec();
+  spec.domain = Domain::kEdit;
+  spec.tau = 100;  // tau + 1 boxes must fit the 64-bit chain mask
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, ChainLengthAgainstBoxes) {
+  IndexSpec spec;
+  spec.domain = Domain::kSet;
+  spec.tau = 0.8;
+  spec.num_boxes = 5;
+  spec.chain_length = 6;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.chain_length = 5;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.chain_length = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+  spec = IndexSpec();
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 4;  // tau + 1 = 3 boxes
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+  spec = IndexSpec();
+  spec.domain = Domain::kHamming;
+  spec.tau = 8;
+  spec.num_parts = 4;
+  spec.chain_length = 5;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, ChainLengthAgainstDerivedPartitions) {
+  // num_parts = 0 defers the partition count to the dataset's
+  // dimensionality; the check then happens in Open.
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 5;  // d = 64 -> m = 4 partitions
+  EXPECT_TRUE(spec.Validate().ok());
+  auto db = Db::Open(spec, Dataset(MakeVectors(20, 64, 7)));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(db.status().message().find("partitions"), std::string::npos);
+}
+
+TEST(SpecValidationTest, MeasureDomainAndFilterConsistency) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  spec.measure = setsim::SetMeasure::kOverlap;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+
+  spec = IndexSpec();
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.filter = FilterMode::kBaseline;
+  spec.chain_length = 3;  // the baseline tests single boxes
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.chain_length = 1;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec.filter = FilterMode::kRing;  // Ring at l = 1 is legal
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(SpecValidationTest, ExecutionFields) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  spec.num_threads = -1;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.num_threads = 0;  // hardware concurrency
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.chunk = 0;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpecValidationTest, DomainNamesRoundTrip) {
+  for (Domain domain : {Domain::kHamming, Domain::kSet, Domain::kEdit,
+                        Domain::kGraph}) {
+    auto parsed = ParseDomain(DomainName(domain));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), domain);
+  }
+  EXPECT_EQ(ParseDomain("vectors").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pigeonring::api

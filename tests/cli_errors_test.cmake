@@ -1,0 +1,92 @@
+# Error-surface test for pigeonring_cli, run by CTest.
+#
+# The CLI promises two failure modes:
+#   exit 2 — usage errors: unknown commands/domains/flags, malformed flag
+#            syntax, unsupported --stats or --measure values;
+#   exit 1 — typed Status errors from the api::Db layer: missing or
+#            malformed datasets, invalid IndexSpec fields.
+# Each case below asserts the exact exit code and a fragment of the
+# diagnostic, so silent flag-swallowing (the pre-Db parser accepted any
+# --flag and ignored it) cannot regress.
+#
+# Invoked as:
+#   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_errors_test.cmake
+
+foreach(var PIGEONRING_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_errors_test.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(dataset "${WORK_DIR}/vectors.ds")
+
+# expect_fail(<expected_rc> <stderr_fragment> <args...>)
+function(expect_fail expected_rc fragment)
+  execute_process(
+    COMMAND ${PIGEONRING_CLI} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+      "pigeonring_cli ${ARGN}: expected rc=${expected_rc}, got rc=${rc}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT err MATCHES "${fragment}")
+    message(FATAL_ERROR
+      "pigeonring_cli ${ARGN}: stderr does not match '${fragment}'\n"
+      "stderr:\n${err}")
+  endif()
+  message(STATUS "ok (rc=${rc}): pigeonring_cli ${ARGN}")
+endfunction()
+
+# A valid dataset for the cases that get past flag parsing.
+execute_process(
+  COMMAND ${PIGEONRING_CLI} gen vectors --out "${dataset}" --n 50 --dim 64
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed (rc=${rc})")
+endif()
+
+# --- usage errors: exit 2 -------------------------------------------------
+expect_fail(2 "usage")
+expect_fail(2 "usage" frobnicate hamming)
+expect_fail(2 "usage" search)
+expect_fail(2 "unknown flag --frobnicate"
+  search hamming --data "${dataset}" --tau 8 --frobnicate 1)
+expect_fail(2 "unknown flag --queries"  # join has no --queries
+  join hamming --data "${dataset}" --tau 8 --queries 5)
+expect_fail(2 "unknown flag --measure"  # --measure is a sets flag
+  search hamming --data "${dataset}" --tau 8 --measure overlap)
+expect_fail(2 "unknown --stats mode 'json'"
+  search hamming --data "${dataset}" --tau 8 --stats json)
+expect_fail(2 "unknown --measure 'cosine'"
+  search sets --data "${dataset}" --tau 0.8 --measure cosine)
+expect_fail(2 "unknown --alloc 'greedy'"
+  search hamming --data "${dataset}" --tau 8 --alloc greedy)
+expect_fail(2 "bad flag syntax"
+  search hamming --data "${dataset}" --tau)  # flag without a value
+expect_fail(2 "--tau expects a number"
+  search hamming --data "${dataset}" --tau oops)
+expect_fail(2 "--queries expects an integer"
+  search hamming --data "${dataset}" --tau 8 --queries 1e2)
+expect_fail(2 "missing required flag --tau"
+  search hamming --data "${dataset}")
+expect_fail(2 "missing required flag --out" gen vectors --n 10)
+
+# --- typed Status errors from the Db layer: exit 1 ------------------------
+expect_fail(1 "NotFound"
+  search hamming --data "${WORK_DIR}/missing.ds" --tau 8)
+expect_fail(1 "InvalidArgument.*tau"
+  search hamming --data "${dataset}" --tau -3)
+expect_fail(1 "InvalidArgument.*chain_length"
+  search hamming --data "${dataset}" --tau 8 --chain 99)
+expect_fail(1 "InvalidArgument.*Jaccard"
+  join sets --data "${dataset}" --tau 7)
+expect_fail(1 "InvalidArgument"  # bit-vector file is not a token-set file
+  search sets --data "${dataset}" --tau 0.8)
+
+message(STATUS "all CLI error paths return their documented exit codes")

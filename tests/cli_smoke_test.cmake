@@ -1,10 +1,12 @@
 # End-to-end smoke test for pigeonring_cli, run by CTest:
-#   gen    — write a tiny binary-vector dataset
-#   search — thresholded Hamming search with the pigeonring filter
-#   join   — Hamming self-join, chain 1 (pigeonhole baseline) for contrast
-#   join determinism — the same join with --threads 1 and --threads 2 in
-#          --stats kv mode must print identical pairs and counters (only
-#          the stat.millis / stat.threads lines may differ)
+#   gen    — write a tiny dataset for each of the four domains
+#   search — thresholded search with the pigeonring filter, every domain
+#   join   — self-join, every domain (hamming also runs the chain-1
+#            pigeonhole baseline for contrast)
+#   join determinism — the hamming join with --threads 1 and --threads 2
+#          in --stats kv mode must print identical pairs and counters
+#          (only the stat.millis / stat.threads lines may differ)
+# All commands run through the api::Db facade the CLI is built on.
 # Invoked as:
 #   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
 
@@ -47,6 +49,22 @@ endif()
 
 run_cli(search hamming --data "${dataset}" --tau 8 --chain 4 --queries 10)
 run_cli(join hamming --data "${dataset}" --tau 4 --chain 1)
+
+# The other three domains through the same facade.
+run_cli(gen sets --out "${WORK_DIR}/sets.ds" --n 150 --seed 42)
+run_cli(search sets --data "${WORK_DIR}/sets.ds" --tau 0.7 --chain 2
+        --queries 10 --measure jaccard)
+run_cli(join sets --data "${WORK_DIR}/sets.ds" --tau 0.8 --chain 2)
+
+run_cli(gen strings --out "${WORK_DIR}/strings.ds" --n 150 --seed 42)
+run_cli(search strings --data "${WORK_DIR}/strings.ds" --tau 2 --chain 2
+        --queries 10 --kappa 2)
+run_cli(join strings --data "${WORK_DIR}/strings.ds" --tau 1 --chain 2)
+
+run_cli(gen graphs --out "${WORK_DIR}/graphs.ds" --n 60 --avg 8 --seed 42)
+run_cli(search graphs --data "${WORK_DIR}/graphs.ds" --tau 2 --chain 2
+        --queries 5)
+run_cli(join graphs --data "${WORK_DIR}/graphs.ds" --tau 1 --chain 2)
 
 # Parallel join determinism: --threads 2 must reproduce the single-threaded
 # pairs and counters exactly.

@@ -1,0 +1,114 @@
+// Tests for common/status.h itself: code/message round-trips, StatusOr
+// value/error access, move semantics (including move-only payloads), and
+// the PR_CHECK interplay on misuse (checked programmer errors abort).
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pigeonring {
+namespace {
+
+using GTEST_DEATH_TEST_ = int;  // silences unused-typedef style checkers
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, CodeAndMessageRoundTrip) {
+  const std::pair<Status, StatusCode> cases[] = {
+      {Status::InvalidArgument("bad arg"), StatusCode::kInvalidArgument},
+      {Status::OutOfRange("past end"), StatusCode::kOutOfRange},
+      {Status::NotFound("no file"), StatusCode::kNotFound},
+      {Status::FailedPrecondition("not open"),
+       StatusCode::kFailedPrecondition},
+      {Status::Internal("broken"), StatusCode::kInternal},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+  }
+  EXPECT_EQ(cases[0].first.message(), "bad arg");
+  EXPECT_EQ(cases[0].first.ToString(), "InvalidArgument: bad arg");
+  EXPECT_EQ(cases[2].first.ToString(), "NotFound: no file");
+}
+
+TEST(StatusTest, ConstructedFromCode) {
+  Status status(StatusCode::kInternal, "boom");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "boom");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.status().ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> err(Status::NotFound("missing"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.status().message(), "missing");
+}
+
+TEST(StatusOrTest, ArrowAndMutation) {
+  StatusOr<std::string> value(std::string("abc"));
+  EXPECT_EQ(value->size(), 3u);
+  value.value() += "def";
+  EXPECT_EQ(*value, "abcdef");
+  const StatusOr<std::string>& view = value;
+  EXPECT_EQ(view->size(), 6u);
+  EXPECT_EQ(*view, "abcdef");
+}
+
+TEST(StatusOrTest, MoveSemantics) {
+  StatusOr<std::vector<int>> source(std::vector<int>{1, 2, 3});
+  StatusOr<std::vector<int>> moved(std::move(source));
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, (std::vector<int>{1, 2, 3}));
+
+  // Moving the value out leaves the container valid-but-unspecified.
+  std::vector<int> extracted = std::move(moved).value();
+  EXPECT_EQ(extracted, (std::vector<int>{1, 2, 3}));
+
+  StatusOr<std::vector<int>> assigned(Status::Internal("old"));
+  assigned = StatusOr<std::vector<int>>(std::vector<int>{7});
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(*assigned, std::vector<int>{7});
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyPayloads) {
+  StatusOr<std::unique_ptr<int>> holder(std::make_unique<int>(9));
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(**holder, 9);
+  std::unique_ptr<int> out = std::move(holder).value();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(StatusOrTest, ErrorAccessIsCheckedProgrammerError) {
+  // value() on an error — and wrapping an OK status where a value is
+  // required — are PR_CHECK contract violations, enabled in all build
+  // types (unlike PR_DCHECK, whose per-element accessor checks compile
+  // out under NDEBUG; see contracts_test.cc).
+  StatusOr<int> err(Status::Internal("nope"));
+  EXPECT_DEATH((void)err.value(), "PR_CHECK");
+  EXPECT_DEATH((void)*err, "PR_CHECK");
+  EXPECT_DEATH(StatusOr<int>{Status::Ok()}, "PR_CHECK");
+}
+
+}  // namespace
+}  // namespace pigeonring

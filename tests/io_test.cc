@@ -83,6 +83,26 @@ TEST_F(IoTest, TokenSetsRejectBadInput) {
   EXPECT_FALSE(LoadTokenSets(Path("neg.txt")).ok());
 }
 
+TEST_F(IoTest, TokenSetsRejectOutOfRangeTokens) {
+  // > INT_MAX must not be silently truncated by the int narrowing.
+  WriteFile("wide.txt", "1 3000000000\n");
+  EXPECT_FALSE(LoadTokenSets(Path("wide.txt")).ok());
+  // Overflows long long *at end of line*: stream extraction sets eofbit
+  // together with failbit here, which used to slip past the error check
+  // and load as an empty set.
+  WriteFile("huge.txt", "99999999999999999999999999999999\n");
+  auto huge = LoadTokenSets(Path("huge.txt"));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, BitVectorsRejectTruncatedHeader) {
+  WriteFile("empty.txt", "");  // no dimensionality header at all
+  EXPECT_FALSE(LoadBitVectors(Path("empty.txt")).ok());
+  WriteFile("negdim.txt", "-4\n0101\n");
+  EXPECT_FALSE(LoadBitVectors(Path("negdim.txt")).ok());
+}
+
 TEST_F(IoTest, StringsRoundTrip) {
   datagen::StringConfig config;
   config.num_records = 40;
@@ -126,6 +146,21 @@ TEST_F(IoTest, GraphsRejectBadInput) {
   EXPECT_FALSE(LoadGraphs(Path("bad3.txt")).ok());
   WriteFile("bad4.txt", "g 2 2\nv 1 2\ne 0 1 0\ne 0 1 0\n");  // dup edge
   EXPECT_FALSE(LoadGraphs(Path("bad4.txt")).ok());
+}
+
+TEST_F(IoTest, GraphsRejectTruncatedFile) {
+  WriteFile("trunc1.txt", "g 2 1\nv 1 2\n");  // edge line missing
+  auto trunc1 = LoadGraphs(Path("trunc1.txt"));
+  ASSERT_FALSE(trunc1.ok());
+  EXPECT_EQ(trunc1.status().code(), StatusCode::kInvalidArgument);
+  WriteFile("trunc2.txt", "g 2 1\n");  // vertex label line missing
+  EXPECT_FALSE(LoadGraphs(Path("trunc2.txt")).ok());
+  WriteFile("trunc3.txt", "g 3 2\nv 1 2 3\ne 0 1 0\n");  // one of two edges
+  EXPECT_FALSE(LoadGraphs(Path("trunc3.txt")).ok());
+  // Errors carry file and line context for the operator.
+  EXPECT_NE(trunc1.status().message().find("trunc1.txt:3"),
+            std::string::npos)
+      << trunc1.status().ToString();
 }
 
 TEST_F(IoTest, EmptyDatasetsRoundTrip) {

@@ -3,55 +3,94 @@
 //
 // Usage:
 //   pigeonring_cli gen <vectors|sets|strings|graphs> --out FILE
-//       [--n N] [--seed S] [--dim D] [--avg A]
+//       [--n N] [--seed S] [--dim D] [--bias B] [--avg A]
 //   pigeonring_cli search <hamming|sets|strings|graphs> --data FILE
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
-//       [--threads N] [--stats kv]
+//       [--kappa K] [--alloc uniform|costmodel] [--threads N] [--stats kv]
 //   pigeonring_cli join <hamming|sets|strings|graphs> --data FILE
-//       --tau T [--chain L] [--measure jaccard|overlap]
-//       [--threads N] [--stats kv]
+//       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
+//       [--alloc uniform|costmodel] [--threads N] [--stats kv] [--print N]
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
 // --chain 1 every command runs the pigeonhole baseline; larger values
-// enable the pigeonring filter. Both commands run through the unified
-// query engine: --threads N shards the batch over N threads (results are
-// identical to --threads 1), and --stats kv replaces the human-readable
-// summary with machine-readable key=value lines.
+// enable the pigeonring filter. Both commands build an api::IndexSpec from
+// the flags and run through api::Db — the same facade library users get:
+// --threads N shards the batch over N threads (results are identical to
+// --threads 1), and --stats kv replaces the human-readable summary with
+// machine-readable key=value lines.
+//
+// Flag parsing is strict: unknown flags, flags that do not apply to the
+// given command/domain, and --stats values other than kv are rejected with
+// exit code 2. Invalid specs and unreadable datasets surface the library's
+// typed Status errors with exit code 1.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "api/db.h"
 #include "common/random.h"
 #include "common/table.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
 #include "datagen/token_sets.h"
-#include "engine/engine.h"
 #include "io/dataset_io.h"
-#include "join/self_join.h"
 #include "kernels/kernels.h"
 
 namespace {
 
 using namespace pigeonring;
 
-/// Minimal --key value flag parser.
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE\n"
+      "                        [--n N] [--seed S] [--dim D] [--bias B]\n"
+      "                        [--avg A]\n"
+      "  pigeonring_cli search <hamming|sets|strings|graphs> --data FILE\n"
+      "                        --tau T [--chain L] [--queries N] [--seed S]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--alloc uniform|costmodel]\n"
+      "                        [--threads N] [--stats kv]\n"
+      "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
+      "                        --tau T [--chain L]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--alloc uniform|costmodel]\n"
+      "                        [--threads N] [--stats kv] [--print N]\n");
+  std::exit(2);
+}
+
+/// Minimal --key value flag parser, strict about its vocabulary: flags
+/// outside `allowed` are rejected up front (exit 2), so a typo'd or
+/// misplaced flag never silently no-ops.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
+  Flags(int argc, char** argv, int first, std::set<std::string> allowed)
+      : allowed_(std::move(allowed)) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
         std::fprintf(stderr, "bad flag syntax near '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[key.substr(2)] = argv[++i];
+      key = key.substr(2);
+      if (allowed_.find(key) == allowed_.end()) {
+        std::string known;
+        for (const std::string& k : allowed_) {
+          known += (known.empty() ? "--" : ", --") + k;
+        }
+        std::fprintf(stderr, "unknown flag --%s (allowed here: %s)\n",
+                     key.c_str(), known.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
     }
   }
 
@@ -61,11 +100,11 @@ class Flags {
   }
   long long GetInt(const std::string& key, long long fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+    return it == values_.end() ? fallback : ParseInt(key, it->second);
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    return it == values_.end() ? fallback : ParseDouble(key, it->second);
   }
   std::string Require(const std::string& key) const {
     auto it = values_.find(key);
@@ -75,26 +114,41 @@ class Flags {
     }
     return it->second;
   }
+  double RequireDouble(const std::string& key) const {
+    return ParseDouble(key, Require(key));
+  }
 
  private:
+  // Numeric values parse strictly (the whole token, no atof-style silent
+  // zero for garbage): a typo'd value is a usage error, not a tau of 0.
+  static long long ParseInt(const std::string& key,
+                            const std::string& value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
+                   key.c_str(), value.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+  static double ParseDouble(const std::string& key,
+                            const std::string& value) {
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--%s expects a number, got '%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  std::set<std::string> allowed_;
   std::map<std::string, std::string> values_;
 };
-
-void Usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE\n"
-      "                        [--n N] [--seed S] [--dim D] [--avg A]\n"
-      "  pigeonring_cli search <hamming|sets|strings|graphs> --data FILE\n"
-      "                        --tau T [--chain L] [--queries N]\n"
-      "                        [--measure jaccard|overlap] [--kappa K]\n"
-      "                        [--threads N] [--stats kv]\n"
-      "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
-      "                        --tau T [--chain L] [--measure ...]\n"
-      "                        [--threads N] [--stats kv]\n");
-  std::exit(2);
-}
 
 template <typename T>
 T Unwrap(StatusOr<T> value) {
@@ -110,6 +164,39 @@ void Check(const Status& status) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// The flag vocabulary of one command/domain combination.
+std::set<std::string> AllowedFlags(const std::string& command,
+                                   const std::string& kind) {
+  if (command == "gen") {
+    std::set<std::string> allowed = {"out", "n", "seed"};
+    if (kind == "vectors") {
+      allowed.insert("dim");
+      allowed.insert("bias");
+    } else {
+      allowed.insert("avg");
+    }
+    return allowed;
+  }
+  std::set<std::string> allowed = {"data", "tau",     "chain",
+                                   "seed", "threads", "stats"};
+  if (command == "search") allowed.insert("queries");
+  if (command == "join") allowed.insert("print");
+  if (kind == "hamming") allowed.insert("alloc");
+  if (kind == "sets") allowed.insert("measure");
+  if (kind == "strings") allowed.insert("kappa");
+  return allowed;
+}
+
+/// True iff --stats kv was requested; any other --stats value exits 2.
+bool StatsKv(const Flags& flags) {
+  const std::string stats = flags.Get("stats", "");
+  if (stats.empty()) return false;
+  if (stats == "kv") return true;
+  std::fprintf(stderr, "unknown --stats mode '%s' (supported: kv)\n",
+               stats.c_str());
+  std::exit(2);
 }
 
 int RunGen(const std::string& kind, const Flags& flags) {
@@ -160,103 +247,63 @@ std::vector<int> SampleQueryIds(int count, int population, uint64_t seed) {
   return ids;
 }
 
-setsim::SetMeasure ParseMeasure(const Flags& flags) {
+/// Builds the declarative spec every search/join flag maps into; the Db
+/// layer owns all further validation.
+api::IndexSpec SpecFromFlags(const std::string& kind, const Flags& flags,
+                             int default_chain) {
+  api::IndexSpec spec;
+  auto domain = api::ParseDomain(kind);
+  if (!domain.ok()) Usage();
+  spec.domain = domain.value();
+  spec.tau = flags.RequireDouble("tau");
+  spec.chain_length =
+      static_cast<int>(flags.GetInt("chain", default_chain));
+  spec.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
   const std::string measure = flags.Get("measure", "jaccard");
-  if (measure == "jaccard") return setsim::SetMeasure::kJaccard;
-  if (measure == "overlap") return setsim::SetMeasure::kOverlap;
-  std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
-  std::exit(2);
+  if (measure == "jaccard") {
+    spec.measure = setsim::SetMeasure::kJaccard;
+  } else if (measure == "overlap") {
+    spec.measure = setsim::SetMeasure::kOverlap;
+  } else {
+    std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
+    std::exit(2);
+  }
+  const std::string alloc = flags.Get("alloc", "costmodel");
+  if (alloc == "uniform") {
+    spec.allocation = hamming::AllocationMode::kUniform;
+  } else if (alloc == "costmodel") {
+    spec.allocation = hamming::AllocationMode::kCostModel;
+  } else {
+    std::fprintf(stderr, "unknown --alloc '%s'\n", alloc.c_str());
+    std::exit(2);
+  }
+  return spec;
 }
 
 int RunSearch(const std::string& kind, const Flags& flags) {
-  const std::string data_path = flags.Require("data");
-  const double tau = std::atof(flags.Require("tau").c_str());
-  const int chain = static_cast<int>(flags.GetInt("chain", 1));
   const int num_queries = static_cast<int>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
-  const bool stats_kv = flags.Get("stats", "") == "kv";
+  const bool stats_kv = StatsKv(flags);
+  const api::IndexSpec spec = SpecFromFlags(kind, flags, 1);
 
-  engine::ExecutionOptions options;
-  options.num_threads = threads;
-  engine::QueryStats totals;
-  int executed = 0;
-
-  if (kind == "hamming") {
-    auto objects = Unwrap(io::LoadBitVectors(data_path));
-    if (objects.empty()) {
-      std::fprintf(stderr, "empty dataset\n");
-      return 1;
-    }
-    std::vector<BitVector> queries;
-    for (int id : SampleQueryIds(num_queries, objects.size(), seed)) {
-      queries.push_back(objects[id]);
-    }
-    engine::HammingAdapter adapter(
-        hamming::HammingSearcher(std::move(objects)), static_cast<int>(tau),
-        chain);
-    engine::SearchBatch(adapter, queries, options, &totals);
-    executed = static_cast<int>(queries.size());
-  } else if (kind == "sets") {
-    setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
-    if (collection.num_records() == 0) {
-      std::fprintf(stderr, "empty dataset\n");
-      return 1;
-    }
-    std::vector<setsim::RankedSet> queries;
-    for (int id :
-         SampleQueryIds(num_queries, collection.num_records(), seed)) {
-      queries.push_back(collection.record(id));
-    }
-    engine::SetAdapter adapter(
-        setsim::PkwiseSearcher(&collection, tau, 5, ParseMeasure(flags)),
-        &collection, chain);
-    engine::SearchBatch(adapter, queries, options, &totals);
-    executed = static_cast<int>(queries.size());
-  } else if (kind == "strings") {
-    const auto data = Unwrap(io::LoadStrings(data_path));
-    if (data.empty()) {
-      std::fprintf(stderr, "empty dataset\n");
-      return 1;
-    }
-    std::vector<std::string> queries;
-    for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
-      queries.push_back(data[id]);
-    }
-    engine::EditAdapter adapter(
-        editdist::EditDistanceSearcher(
-            &data, static_cast<int>(tau),
-            static_cast<int>(flags.GetInt("kappa", 2))),
-        &data,
-        chain > 1 ? editdist::EditFilter::kRing
-                  : editdist::EditFilter::kPivotal,
-        chain);
-    engine::SearchBatch(adapter, queries, options, &totals);
-    executed = static_cast<int>(queries.size());
-  } else if (kind == "graphs") {
-    const auto data = Unwrap(io::LoadGraphs(data_path));
-    if (data.empty()) {
-      std::fprintf(stderr, "empty dataset\n");
-      return 1;
-    }
-    std::vector<graphed::Graph> queries;
-    for (int id : SampleQueryIds(num_queries, data.size(), seed)) {
-      queries.push_back(data[id]);
-    }
-    engine::GraphAdapter adapter(
-        graphed::GraphSearcher(&data, static_cast<int>(tau)), &data,
-        chain > 1 ? graphed::GraphFilter::kRing : graphed::GraphFilter::kPars,
-        chain);
-    engine::SearchBatch(adapter, queries, options, &totals);
-    executed = static_cast<int>(queries.size());
-  } else {
-    Usage();
+  api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  if (db.num_records() == 0) {
+    std::fprintf(stderr, "empty dataset\n");
+    return 1;
   }
+  std::vector<api::Query> queries;
+  for (int id : SampleQueryIds(num_queries, db.num_records(), seed)) {
+    queries.push_back(Unwrap(db.RecordQuery(id)));
+  }
+  const api::BatchResult batch = Unwrap(db.SearchBatch(queries));
+  const engine::QueryStats& totals = batch.stats;
+  const int executed = static_cast<int>(queries.size());
 
   if (stats_kv) {
     std::printf("stat.command=search\n");
     std::printf("stat.kind=%s\n", kind.c_str());
-    std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.threads=%d\n", spec.num_threads);
     std::printf("stat.kernel_isa=%s\n",
                 kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.queries=%d\n", executed);
@@ -267,8 +314,8 @@ int RunSearch(const std::string& kind, const Flags& flags) {
     std::printf("stat.millis=%.4f\n", totals.total_millis);
   } else {
     Table table("search " + kind + " tau=" + flags.Require("tau") +
-                    " chain=" + Table::Int(chain) +
-                    " threads=" + Table::Int(threads),
+                    " chain=" + Table::Int(spec.chain_length) +
+                    " threads=" + Table::Int(spec.num_threads),
                 {"queries", "avg candidates", "avg results", "avg time (ms)"});
     table.AddRow(
         {Table::Int(executed),
@@ -281,42 +328,18 @@ int RunSearch(const std::string& kind, const Flags& flags) {
 }
 
 int RunJoin(const std::string& kind, const Flags& flags) {
-  const std::string data_path = flags.Require("data");
-  const double tau = std::atof(flags.Require("tau").c_str());
-  const int chain = static_cast<int>(flags.GetInt("chain", 2));
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
-  const bool stats_kv = flags.Get("stats", "") == "kv";
-  join::JoinStats stats;
-  std::vector<join::IdPair> pairs;
+  const bool stats_kv = StatsKv(flags);
+  const api::IndexSpec spec = SpecFromFlags(kind, flags, 2);
 
-  if (kind == "hamming") {
-    auto objects = Unwrap(io::LoadBitVectors(data_path));
-    hamming::HammingSearcher searcher(objects);
-    pairs = join::HammingSelfJoin(searcher, static_cast<int>(tau), chain,
-                                  &stats, threads);
-  } else if (kind == "sets") {
-    setsim::SetCollection collection(Unwrap(io::LoadTokenSets(data_path)));
-    setsim::PkwiseSearcher searcher(&collection, tau, 5, ParseMeasure(flags));
-    pairs = join::SetSelfJoin(searcher, collection, chain, &stats, threads);
-  } else if (kind == "strings") {
-    const auto data = Unwrap(io::LoadStrings(data_path));
-    editdist::EditDistanceSearcher searcher(
-        &data, static_cast<int>(tau),
-        static_cast<int>(flags.GetInt("kappa", 2)));
-    pairs = join::EditSelfJoin(searcher, data, editdist::EditFilter::kRing,
-                               chain, &stats, threads);
-  } else if (kind == "graphs") {
-    const auto data = Unwrap(io::LoadGraphs(data_path));
-    graphed::GraphSearcher searcher(&data, static_cast<int>(tau));
-    pairs = join::GraphSelfJoin(searcher, data, graphed::GraphFilter::kRing,
-                                chain, &stats, threads);
-  } else {
-    Usage();
-  }
+  api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  const api::JoinResult join = Unwrap(db.SelfJoin());
+  const engine::JoinStats& stats = join.stats;
+  const std::vector<api::IdPair>& pairs = join.pairs;
+
   if (stats_kv) {
     std::printf("stat.command=join\n");
     std::printf("stat.kind=%s\n", kind.c_str());
-    std::printf("stat.threads=%d\n", threads);
+    std::printf("stat.threads=%d\n", spec.num_threads);
     std::printf("stat.kernel_isa=%s\n",
                 kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.pairs=%lld\n", static_cast<long long>(stats.pairs));
@@ -326,11 +349,10 @@ int RunJoin(const std::string& kind, const Flags& flags) {
   } else {
     std::printf("pairs: %lld (candidates: %lld, threads: %d, %.1f ms)\n",
                 static_cast<long long>(stats.pairs),
-                static_cast<long long>(stats.candidates), threads,
+                static_cast<long long>(stats.candidates), spec.num_threads,
                 stats.total_millis);
   }
-  const int limit =
-      static_cast<int>(flags.GetInt("print", 20));
+  const int limit = static_cast<int>(flags.GetInt("print", 20));
   for (int i = 0; i < std::min<int>(limit, pairs.size()); ++i) {
     std::printf("%d %d\n", pairs[i].first, pairs[i].second);
   }
@@ -346,10 +368,9 @@ int main(int argc, char** argv) {
   if (argc < 3) Usage();
   const std::string command = argv[1];
   const std::string kind = argv[2];
-  const Flags flags(argc, argv, 3);
+  if (command != "gen" && command != "search" && command != "join") Usage();
+  const Flags flags(argc, argv, 3, AllowedFlags(command, kind));
   if (command == "gen") return RunGen(kind, flags);
   if (command == "search") return RunSearch(kind, flags);
-  if (command == "join") return RunJoin(kind, flags);
-  Usage();
-  return 2;
+  return RunJoin(kind, flags);
 }
