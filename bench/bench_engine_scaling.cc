@@ -7,9 +7,15 @@
 // panel then prices the type-erasure boundary itself: the same Hamming
 // search batch through the templated engine::SearchBatch driver vs
 // through Db::SearchBatch at one thread (acceptance bar: within 3%).
-// `--json FILE` additionally dumps the timings machine-readably;
-// BENCH_engine.json at the repo root is a committed baseline produced
-// this way (see docs/BENCHMARKS.md for the protocol).
+// The concurrent-clients panel measures the service shape: N client
+// threads share one Db, each driving its own Session against the
+// snapshot's persistent executor (no thread pool is built per request),
+// reporting aggregate throughput and client-side p50/p99 latency; every
+// client's results must be byte-identical to the sequential reference at
+// every client count (acceptance bar: multi-client throughput >= the
+// single-client row). `--json FILE` additionally dumps the timings
+// machine-readably; BENCH_engine.json at the repo root is a committed
+// baseline produced this way (see docs/BENCHMARKS.md for the protocol).
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +26,7 @@
 
 #include "api/db.h"
 #include "bench_util.h"
+#include "common/random.h"
 #include "common/timer.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
@@ -282,9 +289,137 @@ FacadePanel RunFacadePanel() {
   return panel;
 }
 
+// Concurrent-clients panel: the redesign's acceptance measurement. N
+// client threads share one Db; each mints its own Session and issues
+// synchronous SearchBatch requests back-to-back (spec threads = 1, so
+// parallelism comes purely from overlapping clients, as in a server).
+// Each row is the best of `kRepeats` runs; latencies are client-side
+// per-request wall times aggregated over all clients of the best run.
+struct ClientsRow {
+  int clients = 0;
+  double wall_millis = 0;
+  double qps = 0;  // queries served per second, all clients combined
+  double p50_millis = 0;
+  double p99_millis = 0;
+};
+
+struct ClientsPanel {
+  int queries_per_request = 0;
+  int requests_per_client = 0;
+  std::vector<ClientsRow> rows;
+};
+
+ClientsPanel RunClientsPanel() {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = bench::Scaled(20000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9001;
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  spec.num_threads = 1;
+  const api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec,
+                    api::Dataset(datagen::GenerateBinaryVectors(config))),
+      "open hamming");
+
+  ClientsPanel panel;
+  // Enough requests per client that thread startup amortizes away — the
+  // panel prices steady-state request service, not client spawn.
+  panel.queries_per_request = bench::Scaled(50);
+  panel.requests_per_client = 40;
+  std::vector<api::Query> request;
+  {
+    Rng rng(9006);
+    for (int i = 0; i < panel.queries_per_request; ++i) {
+      const int id = static_cast<int>(rng.NextBounded(db.num_records()));
+      request.push_back(
+          bench::BenchUnwrap(db.RecordQuery(id), "sample query"));
+    }
+  }
+  api::Session reference_session = db.NewSession();
+  const api::BatchResult reference = bench::BenchUnwrap(
+      reference_session.SearchBatch(request), "reference batch");
+
+  const int kRepeats = 3;
+  for (int clients : {1, 2, 4}) {
+    ClientsRow best;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      std::vector<std::vector<double>> latencies(clients);
+      std::vector<char> diverged(clients, 0);
+      StopWatch wall;
+      {
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (int c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            api::Session session = db.NewSession();
+            for (int r = 0; r < panel.requests_per_client; ++r) {
+              StopWatch request_watch;
+              auto batch = session.SearchBatch(request);
+              latencies[c].push_back(request_watch.ElapsedMillis());
+              if (!batch.ok() || batch->ids != reference.ids) {
+                diverged[c] = 1;
+              }
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+      }
+      ClientsRow row;
+      row.clients = clients;
+      row.wall_millis = wall.ElapsedMillis();
+      for (int c = 0; c < clients; ++c) {
+        if (diverged[c]) {
+          std::fprintf(stderr,
+                       "FATAL: client %d diverged from the sequential "
+                       "reference at %d clients\n",
+                       c, clients);
+          std::exit(1);
+        }
+      }
+      std::vector<double> all;
+      for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(all.begin(), all.end());
+      row.p50_millis = all[all.size() / 2];
+      row.p99_millis = all[static_cast<size_t>(0.99 * (all.size() - 1))];
+      const double queries = static_cast<double>(clients) *
+                             panel.requests_per_client *
+                             panel.queries_per_request;
+      row.qps = queries / std::max(1e-9, row.wall_millis) * 1000.0;
+      if (repeat == 0 || row.qps > best.qps) best = row;
+    }
+    panel.rows.push_back(best);
+  }
+
+  Table out("concurrent-clients panel: N sessions x one shared Db "
+            "(hamming search batches, 1 thread per request, best of 3)",
+            {"clients", "wall (ms)", "queries/s", "p50 (ms)", "p99 (ms)",
+             "vs 1 client"});
+  for (const ClientsRow& row : panel.rows) {
+    out.AddRow({Table::Int(row.clients), Table::Num(row.wall_millis, 1),
+                Table::Num(row.qps, 0), Table::Num(row.p50_millis, 3),
+                Table::Num(row.p99_millis, 3),
+                Table::Num(row.qps / std::max(1e-9, panel.rows.front().qps),
+                           2) +
+                    "x"});
+  }
+  out.Print();
+  std::printf("\n");
+  return panel;
+}
+
 void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
-               const KernelPanel& kernel, const FacadePanel& facade) {
+               const KernelPanel& kernel, const FacadePanel& facade,
+               const ClientsPanel& clients) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -307,6 +442,19 @@ void WriteJson(const std::string& path,
                "%.3f, \"facade_millis\": %.3f, \"overhead_pct\": %.3f},\n",
                facade.num_queries, facade.templated_millis,
                facade.facade_millis, facade.overhead_pct);
+  std::fprintf(f,
+               "  \"clients_panel\": {\"queries_per_request\": %d, "
+               "\"requests_per_client\": %d, \"rows\": [",
+               clients.queries_per_request, clients.requests_per_client);
+  for (size_t i = 0; i < clients.rows.size(); ++i) {
+    const ClientsRow& row = clients.rows[i];
+    std::fprintf(f,
+                 "%s{\"clients\": %d, \"wall_millis\": %.3f, \"qps\": %.1f, "
+                 "\"p50_millis\": %.4f, \"p99_millis\": %.4f}",
+                 i == 0 ? "" : ", ", row.clients, row.wall_millis, row.qps,
+                 row.p50_millis, row.p99_millis);
+  }
+  std::fprintf(f, "]},\n");
   std::fprintf(f, "  \"domains\": [\n");
   for (size_t d = 0; d < results.size(); ++d) {
     const DomainResult& r = results[d];
@@ -341,6 +489,9 @@ int main(int argc, char** argv) {
   results.push_back(RunGraphs());
   const KernelPanel kernel = RunKernelPanel();
   const FacadePanel facade = RunFacadePanel();
-  if (!json_path.empty()) WriteJson(json_path, results, kernel, facade);
+  const ClientsPanel clients = RunClientsPanel();
+  if (!json_path.empty()) {
+    WriteJson(json_path, results, kernel, facade, clients);
+  }
   return 0;
 }

@@ -1,7 +1,9 @@
 // Quickstart: the pigeonring principle on the paper's running example
-// (Figure 1 / Examples 1-6), then the public api::Db facade — open a
-// generated dataset from a declarative spec, run one search and one
-// self-join, and handle errors through Status instead of crashes.
+// (Figure 1 / Examples 1-6), then the public api::Db + api::Session
+// facade — open a generated dataset from a declarative spec (the Db is a
+// shared snapshot), mint a per-caller Session, run one search, one async
+// batch, and one self-join, and handle errors through Status instead of
+// crashes.
 //
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -71,14 +73,19 @@ int main() {
   }
   api::Db db = std::move(opened).value();
 
+  // A Db is an immutable, concurrently shareable snapshot; per-caller
+  // query state lives in a Session (one per caller thread — any number of
+  // sessions may run side by side with byte-identical results).
+  api::Session session = db.NewSession();
+
   // One search: record 42 as the query (every fallible call returns
   // StatusOr, never aborts).
-  auto query = db.RecordQuery(42);
+  auto query = session.RecordQuery(42);
   if (!query.ok()) {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  auto search = db.Search(*query);
+  auto search = session.Search(*query);
   if (!search.ok()) {
     std::fprintf(stderr, "%s\n", search.status().ToString().c_str());
     return 1;
@@ -89,6 +96,25 @@ int main() {
       static_cast<int>(spec.tau), spec.chain_length,
       static_cast<long long>(search->stats.candidates), search->ids.size(),
       search->stats.total_millis);
+
+  // Async submission: the batch runs on the snapshot's persistent
+  // executor while this thread does other work; the future resolves to
+  // the same StatusOr a synchronous SearchBatch returns.
+  std::vector<api::Query> batch_queries;
+  for (int id = 0; id < 8; ++id) {
+    batch_queries.push_back(std::move(session.RecordQuery(id)).value());
+  }
+  api::Future<api::BatchResult> future =
+      session.SubmitBatch(batch_queries);
+  auto batch = future.Get();
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("async batch: %zu queries -> %lld results in %.3f ms wall\n",
+              batch_queries.size(),
+              static_cast<long long>(batch->stats.results),
+              batch->wall_millis);
 
   // One self-join: every near-duplicate pair in the collection. A join is
   // a different workload, so it gets its own spec — a tighter threshold
@@ -103,7 +129,7 @@ int main() {
     std::fprintf(stderr, "%s\n", join_db.status().ToString().c_str());
     return 1;
   }
-  auto join = join_db->SelfJoin();
+  auto join = join_db->NewSession().SelfJoin();
   if (!join.ok()) {
     std::fprintf(stderr, "%s\n", join.status().ToString().c_str());
     return 1;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "api/internal.h"
 #include "editdist/pivotal.h"
 #include "engine/engine.h"
 #include "graphed/pars.h"
@@ -12,27 +13,6 @@
 namespace pigeonring::api {
 
 namespace internal {
-
-// The type-erasure bridge: one virtual interface over the compile-time
-// engine::Searcher concept. Virtual dispatch happens once per Db call; the
-// templated engine drivers run underneath unchanged.
-class AnySearcher {
- public:
-  virtual ~AnySearcher() = default;
-  virtual int size() const = 0;
-  virtual StatusOr<Query> RecordQuery(int id) const = 0;
-  /// Domain + shape check; queries passed to the Search* calls below must
-  /// have been validated.
-  virtual Status ValidateQuery(const Query& query) const = 0;
-  virtual std::vector<int> SearchOne(const Query& query,
-                                     engine::QueryStats* stats) = 0;
-  virtual std::vector<std::vector<int>> SearchBatch(
-      const std::vector<Query>& queries,
-      const engine::ExecutionOptions& options, engine::QueryStats* stats) = 0;
-  virtual std::vector<engine::IdPair> SelfJoin(
-      const engine::ExecutionOptions& options, engine::JoinStats* stats) = 0;
-};
-
 namespace {
 
 Status QueryDomainError(Domain query_domain, Domain index_domain) {
@@ -41,8 +21,10 @@ Status QueryDomainError(Domain query_domain, Domain index_domain) {
       " query but the index domain is " + DomainName(index_domain));
 }
 
-// CRTP base: Derived supplies ToDomain(query) -> S::Query; the batch and
-// join entry points forward to the templated engine drivers, so the only
+// CRTP base: Derived supplies ToDomain(query) -> S::Query. The model holds
+// the *prototype* adapter, immutable after construction; every cursor gets
+// its own copy (cheap — the searchers share their index state behind
+// shared_ptr) and forwards to the templated engine drivers, so the only
 // erased work per call is the query-list conversion.
 template <typename Derived, engine::Searcher S>
 class ModelBase : public AnySearcher {
@@ -51,34 +33,50 @@ class ModelBase : public AnySearcher {
 
   int size() const override { return adapter_.size(); }
 
-  std::vector<int> SearchOne(const Query& query,
-                             engine::QueryStats* stats) override {
-    return adapter_.Search(derived().ToDomain(query), stats);
-  }
-
-  std::vector<std::vector<int>> SearchBatch(
-      const std::vector<Query>& queries,
-      const engine::ExecutionOptions& options,
-      engine::QueryStats* stats) override {
-    std::vector<typename S::Query> domain_queries;
-    domain_queries.reserve(queries.size());
-    for (const Query& query : queries) {
-      domain_queries.push_back(derived().ToDomain(query));
-    }
-    return engine::SearchBatch(adapter_, domain_queries, options, stats);
-  }
-
-  std::vector<engine::IdPair> SelfJoin(const engine::ExecutionOptions& options,
-                                       engine::JoinStats* stats) override {
-    return engine::SelfJoin(adapter_, options, stats);
+  std::unique_ptr<AnyCursor> NewCursor() const override {
+    return std::make_unique<Cursor>(derived(), adapter_);
   }
 
  protected:
+  class Cursor : public AnyCursor {
+   public:
+    Cursor(const Derived& model, S adapter)
+        : model_(model), adapter_(std::move(adapter)) {}
+
+    std::vector<int> SearchOne(const Query& query,
+                               engine::QueryStats* stats) override {
+      return adapter_.Search(model_.ToDomain(query), stats);
+    }
+
+    std::vector<std::vector<int>> SearchBatch(
+        const std::vector<Query>& queries,
+        const engine::ExecutionContext& ctx,
+        engine::QueryStats* stats) override {
+      std::vector<typename S::Query> domain_queries;
+      domain_queries.reserve(queries.size());
+      for (const Query& query : queries) {
+        domain_queries.push_back(model_.ToDomain(query));
+      }
+      return engine::SearchBatch(adapter_, domain_queries, ctx, stats);
+    }
+
+    std::vector<engine::IdPair> SelfJoin(const engine::ExecutionContext& ctx,
+                                         engine::JoinStats* stats) override {
+      return engine::SelfJoin(adapter_, ctx, stats);
+    }
+
+   private:
+    // The owning snapshot outlives every cursor (sessions and in-flight
+    // submissions pin it), so a plain reference is safe.
+    const Derived& model_;
+    S adapter_;
+  };
+
   const Derived& derived() const {
     return static_cast<const Derived&>(*this);
   }
 
-  S adapter_;
+  S adapter_;  // the prototype; only read and copied after construction
 };
 
 class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
@@ -200,7 +198,7 @@ bool RingEnabled(const IndexSpec& spec) {
   return spec.chain_length > 1;
 }
 
-StatusOr<std::unique_ptr<AnySearcher>> BuildHamming(
+StatusOr<std::unique_ptr<const AnySearcher>> BuildHamming(
     const IndexSpec& spec, std::vector<BitVector> objects) {
   int dimensions = 0;
   if (!objects.empty()) {
@@ -249,22 +247,22 @@ StatusOr<std::unique_ptr<AnySearcher>> BuildHamming(
   engine::HammingAdapter adapter(
       hamming::HammingSearcher(std::move(objects), num_parts),
       static_cast<int>(spec.tau), chain, spec.allocation);
-  return std::unique_ptr<AnySearcher>(
+  return std::unique_ptr<const AnySearcher>(
       new HammingModel(std::move(adapter), dimensions));
 }
 
-StatusOr<std::unique_ptr<AnySearcher>> BuildSet(
+StatusOr<std::unique_ptr<const AnySearcher>> BuildSet(
     const IndexSpec& spec, std::vector<std::vector<int>> raw) {
   auto collection = std::make_unique<setsim::SetCollection>(raw);
   setsim::PkwiseSearcher searcher(collection.get(), spec.tau, spec.num_boxes,
                                   spec.measure);
   const int chain = RingEnabled(spec) ? spec.chain_length : 1;
   engine::SetAdapter adapter(std::move(searcher), collection.get(), chain);
-  return std::unique_ptr<AnySearcher>(
+  return std::unique_ptr<const AnySearcher>(
       new SetModel(std::move(collection), std::move(adapter)));
 }
 
-StatusOr<std::unique_ptr<AnySearcher>> BuildEdit(
+StatusOr<std::unique_ptr<const AnySearcher>> BuildEdit(
     const IndexSpec& spec, std::vector<std::string> strings) {
   auto data =
       std::make_unique<std::vector<std::string>>(std::move(strings));
@@ -275,11 +273,11 @@ StatusOr<std::unique_ptr<AnySearcher>> BuildEdit(
                                           : editdist::EditFilter::kPivotal;
   engine::EditAdapter adapter(std::move(searcher), data.get(), filter,
                               spec.chain_length);
-  return std::unique_ptr<AnySearcher>(
+  return std::unique_ptr<const AnySearcher>(
       new EditModel(std::move(data), std::move(adapter)));
 }
 
-StatusOr<std::unique_ptr<AnySearcher>> BuildGraph(
+StatusOr<std::unique_ptr<const AnySearcher>> BuildGraph(
     const IndexSpec& spec, std::vector<graphed::Graph> graphs) {
   auto data =
       std::make_unique<std::vector<graphed::Graph>>(std::move(graphs));
@@ -290,16 +288,26 @@ StatusOr<std::unique_ptr<AnySearcher>> BuildGraph(
                                           : graphed::GraphFilter::kPars;
   engine::GraphAdapter adapter(std::move(searcher), data.get(), filter,
                                spec.chain_length);
-  return std::unique_ptr<AnySearcher>(
+  return std::unique_ptr<const AnySearcher>(
       new GraphModel(std::move(data), std::move(adapter)));
 }
 
 }  // namespace
 }  // namespace internal
 
-Db::Db(IndexSpec spec, std::unique_ptr<internal::AnySearcher> searcher)
-    : spec_(std::move(spec)), searcher_(std::move(searcher)) {}
+Db::Db(std::shared_ptr<const internal::DbState> state)
+    : state_(std::move(state)) {}
 
+// Copies share the snapshot; the shim session (if any) stays with its
+// original handle — each handle mints its own lazily.
+Db::Db(const Db& other) : state_(other.state_) {}
+Db& Db::operator=(const Db& other) {
+  if (this != &other) {
+    state_ = other.state_;
+    shim_session_.reset();
+  }
+  return *this;
+}
 Db::Db(Db&&) noexcept = default;
 Db& Db::operator=(Db&&) noexcept = default;
 Db::~Db() = default;
@@ -312,7 +320,7 @@ StatusOr<Db> Db::Open(const IndexSpec& spec, Dataset dataset) {
         "dataset holds " + std::string(DomainName(DatasetDomain(dataset))) +
         " records but the spec's domain is " + DomainName(spec.domain));
   }
-  StatusOr<std::unique_ptr<internal::AnySearcher>> searcher = [&] {
+  StatusOr<std::unique_ptr<const internal::AnySearcher>> searcher = [&] {
     switch (spec.domain) {
       case Domain::kHamming:
         return internal::BuildHamming(
@@ -331,7 +339,14 @@ StatusOr<Db> Db::Open(const IndexSpec& spec, Dataset dataset) {
         spec, std::get<std::vector<graphed::Graph>>(std::move(dataset)));
   }();
   if (!searcher.ok()) return searcher.status();
-  return Db(spec, std::move(searcher).value());
+  auto state = std::make_shared<internal::DbState>();
+  state->spec = spec;
+  state->searcher =
+      std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
+  // The snapshot-scoped executor starts at the spec's default width and
+  // grows (once per width) when a RunOptions override asks for more.
+  state->executor = std::make_unique<engine::Executor>(spec.num_threads);
+  return Db(std::shared_ptr<const internal::DbState>(std::move(state)));
 }
 
 StatusOr<Db> Db::Open(const IndexSpec& spec,
@@ -364,69 +379,36 @@ StatusOr<Db> Db::Open(const IndexSpec& spec,
   return Open(spec, Dataset(std::move(loaded).value()));
 }
 
-int Db::num_records() const { return searcher_->size(); }
+const IndexSpec& Db::spec() const { return state_->spec; }
+
+Domain Db::domain() const { return state_->spec.domain; }
+
+int Db::num_records() const { return state_->searcher->size(); }
 
 StatusOr<Query> Db::RecordQuery(int id) const {
-  if (id < 0 || id >= searcher_->size()) {
-    return Status::OutOfRange("record id " + std::to_string(id) +
-                              " outside [0, " +
-                              std::to_string(searcher_->size()) + ")");
+  return internal::RecordQueryOf(*state_->searcher, id);
+}
+
+Session Db::NewSession() const { return Session(state_); }
+
+Session& Db::ShimSession() {
+  if (shim_session_ == nullptr) {
+    shim_session_ = std::unique_ptr<Session>(new Session(state_));
   }
-  return searcher_->RecordQuery(id);
+  return *shim_session_;
 }
 
 StatusOr<SearchResult> Db::Search(const Query& query) {
-  Status valid = searcher_->ValidateQuery(query);
-  if (!valid.ok()) return valid;
-  SearchResult result;
-  result.ids = searcher_->SearchOne(query, &result.stats);
-  return result;
+  return ShimSession().Search(query);
 }
-
-namespace {
-
-// Negative RunOptions fields defer to the spec; explicit values get the
-// same validation the spec-level fields do (chunk 0 is an error, not a
-// silent fallback; num_threads 0 means hardware concurrency).
-StatusOr<engine::ExecutionOptions> ResolveOptions(const IndexSpec& spec,
-                                                  const RunOptions& options) {
-  engine::ExecutionOptions resolved;
-  resolved.num_threads =
-      options.num_threads >= 0 ? options.num_threads : spec.num_threads;
-  resolved.chunk = options.chunk >= 0 ? options.chunk : spec.chunk;
-  if (resolved.chunk < 1) {
-    return Status::InvalidArgument("chunk=" +
-                                   std::to_string(resolved.chunk) +
-                                   " is invalid: expected >= 1");
-  }
-  return resolved;
-}
-
-}  // namespace
 
 StatusOr<BatchResult> Db::SearchBatch(const std::vector<Query>& queries,
                                       const RunOptions& options) {
-  auto resolved = ResolveOptions(spec_, options);
-  if (!resolved.ok()) return resolved.status();
-  for (size_t i = 0; i < queries.size(); ++i) {
-    Status valid = searcher_->ValidateQuery(queries[i]);
-    if (!valid.ok()) {
-      return Status(valid.code(),
-                    "query " + std::to_string(i) + ": " + valid.message());
-    }
-  }
-  BatchResult result;
-  result.ids =
-      searcher_->SearchBatch(queries, resolved.value(), &result.stats);
-  return result;
+  return ShimSession().SearchBatch(queries, options);
 }
 
 StatusOr<JoinResult> Db::SelfJoin(const RunOptions& options) {
-  auto resolved = ResolveOptions(spec_, options);
-  if (!resolved.ok()) return resolved.status();
-  JoinResult result;
-  result.pairs = searcher_->SelfJoin(resolved.value(), &result.stats);
-  return result;
+  return ShimSession().SelfJoin(options);
 }
 
 }  // namespace pigeonring::api

@@ -2,35 +2,49 @@
 //
 // A Db is opened from a declarative IndexSpec plus a dataset (in memory or
 // on disk) and answers thresholded similarity queries in whichever of the
-// four §6 domains the spec names:
+// four §6 domains the spec names. Since the concurrent-service redesign a
+// Db is a cheap handle on an immutable *snapshot* — the domain index, the
+// collection, and a persistent engine::Executor — and the per-caller query
+// state lives in api::Session (api/session.h):
 //
 //   auto db = api::Db::Open(spec, "vectors.ds");
 //   if (!db.ok()) { ... db.status() ... }
-//   auto result = db->Search(query);           // StatusOr<SearchResult>
-//   auto batch  = db->SearchBatch(queries);    // StatusOr<BatchResult>
-//   auto join   = db->SelfJoin();              // StatusOr<JoinResult>
+//   api::Session session = db->NewSession();       // one per caller
+//   auto result = session.Search(query);           // StatusOr<SearchResult>
+//   auto batch  = session.SearchBatch(queries);    // StatusOr<BatchResult>
+//   auto join   = session.SelfJoin();              // StatusOr<JoinResult>
+//   auto future = session.SubmitBatch(queries);    // Future<BatchResult>
+//
+// Sharing: a Db is copyable and movable; copies are handles on the same
+// snapshot. Everything on Db itself is const and concurrently callable —
+// any number of threads may hold the same Db (or copies of it) and mint
+// Sessions from it. Sessions pin the snapshot, so they and their in-flight
+// futures survive the Db handle's destruction.
 //
 // Every fallible step returns Status / StatusOr — spec validation, dataset
 // loading, query/domain mismatches — never exit() or a PR_CHECK abort.
 //
-// Type-erasure boundary and its cost model: Db wraps the compile-time
-// engine::Searcher concept behind one virtual interface (internal
-// AnySearcher), but the erasure happens at the *batch* boundary, not per
-// probe. A SearchBatch or SelfJoin call costs exactly one virtual dispatch
-// plus one conversion of the query list into the domain representation;
-// inside, the templated engine::SearchBatch / engine::SelfJoin drivers,
-// their thread-pool sharding, and the per-candidate kernels run unchanged
-// and fully inlined. Search costs one virtual call per query — fine for
-// interactive use; batch paths stay within noise of the templated drivers
+// Type-erasure boundary and its cost model: the snapshot wraps the
+// compile-time engine::Searcher concept behind one virtual interface, but
+// the erasure happens at the *batch* boundary, not per probe. A
+// SearchBatch or SelfJoin call costs exactly one virtual dispatch plus one
+// conversion of the query list into the domain representation; inside, the
+// templated engine::SearchBatch / engine::SelfJoin drivers, their loop
+// sharding, and the per-candidate kernels run unchanged and fully inlined.
+// Search costs one virtual call per query — fine for interactive use;
+// batch paths stay within noise of the templated drivers
 // (bench_engine_scaling's facade panel measures this).
 //
 // Threading: spec.num_threads / spec.chunk are the defaults; RunOptions
-// overrides them per call. Results are byte-identical at every thread
-// count (the engine's determinism guarantee).
+// overrides them per call. Every call borrows the snapshot's persistent
+// executor — no thread pool is constructed on the steady-state query path.
+// Results are byte-identical at every thread count and under any number of
+// concurrent sessions (the engine's determinism guarantee).
 //
-// A Db is movable but not copyable, and not concurrently shareable: calls
-// mutate per-query scratch. Parallelism lives *inside* SearchBatch /
-// SelfJoin, which shard over their own thread-pool clones.
+// DEPRECATED shims: Search / SearchBatch / SelfJoin also still exist
+// directly on Db for one release, implemented over an internal Session.
+// They are NOT concurrently callable (the internal session's scratch is
+// shared) — new code should hold a Session per caller instead.
 
 #ifndef PIGEONRING_API_DB_H_
 #define PIGEONRING_API_DB_H_
@@ -39,48 +53,11 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "api/spec.h"
 #include "common/status.h"
-#include "engine/query_stats.h"
 
 namespace pigeonring::api {
-
-/// Engine counter types, re-exported as part of the public surface.
-using QueryStats = engine::QueryStats;
-using JoinStats = engine::JoinStats;
-using IdPair = engine::IdPair;
-
-/// One query's matches (record ids into the opened dataset) and counters.
-struct SearchResult {
-  std::vector<int> ids;
-  QueryStats stats;
-};
-
-/// Per-query result lists in input order, plus counters summed over the
-/// batch (its *_millis fields are summed per-query times, not wall-clock).
-struct BatchResult {
-  std::vector<std::vector<int>> ids;
-  QueryStats stats;
-};
-
-/// All matching unordered pairs (i < j, sorted) and join counters.
-struct JoinResult {
-  std::vector<IdPair> pairs;
-  JoinStats stats;
-};
-
-/// Per-call overrides of the spec's execution defaults. Negative fields
-/// keep the spec's setting; explicit values are validated like their
-/// spec-level counterparts (chunk must be >= 1, num_threads 0 means
-/// hardware concurrency).
-struct RunOptions {
-  int num_threads = -1;  // -1 = spec.num_threads; 0 = hardware concurrency
-  int chunk = -1;        // -1 = spec.chunk
-};
-
-namespace internal {
-class AnySearcher;
-}
 
 class Db {
  public:
@@ -95,38 +72,47 @@ class Db {
   static StatusOr<Db> Open(const IndexSpec& spec,
                            const std::string& dataset_path);
 
+  /// Copies are cheap handles on the same immutable snapshot.
+  Db(const Db& other);
+  Db& operator=(const Db& other);
   Db(Db&&) noexcept;
   Db& operator=(Db&&) noexcept;
-  Db(const Db&) = delete;
-  Db& operator=(const Db&) = delete;
   ~Db();
 
-  const IndexSpec& spec() const { return spec_; }
-  Domain domain() const { return spec_.domain; }
+  const IndexSpec& spec() const;
+  Domain domain() const;
   int num_records() const;
 
   /// Record `id` of the opened dataset viewed as a query (the paper's
   /// sample-queries-from-the-dataset protocol). kOutOfRange for bad ids.
   StatusOr<Query> RecordQuery(int id) const;
 
-  /// Ids of all records matching `query` under the spec's threshold.
-  /// kInvalidArgument if the query's domain or shape does not match.
+  /// Mints a per-caller query handle over this snapshot. Cheap (the
+  /// scratch clone shares all immutable index state); call it once per
+  /// caller thread. The Session keeps the snapshot alive independently of
+  /// this Db.
+  Session NewSession() const;
+
+  /// DEPRECATED — use NewSession().Search(...). Kept for one release;
+  /// forwards to an internal session, so unlike the rest of Db it is not
+  /// concurrently callable.
   StatusOr<SearchResult> Search(const Query& query);
 
-  /// Runs every query; result lists are in input order regardless of
-  /// threading. Fails (without running) if any query mismatches.
+  /// DEPRECATED — use NewSession().SearchBatch(...). See Search().
   StatusOr<BatchResult> SearchBatch(const std::vector<Query>& queries,
                                     const RunOptions& options = {});
 
-  /// Joins the dataset with itself: every unordered pair within the
-  /// threshold, each exactly once, sorted.
+  /// DEPRECATED — use NewSession().SelfJoin(...). See Search().
   StatusOr<JoinResult> SelfJoin(const RunOptions& options = {});
 
  private:
-  Db(IndexSpec spec, std::unique_ptr<internal::AnySearcher> searcher);
+  explicit Db(std::shared_ptr<const internal::DbState> state);
 
-  IndexSpec spec_;
-  std::unique_ptr<internal::AnySearcher> searcher_;
+  Session& ShimSession();
+
+  std::shared_ptr<const internal::DbState> state_;
+  // Lazily minted by the deprecated shims; never copied with the Db.
+  std::unique_ptr<Session> shim_session_;
 };
 
 }  // namespace pigeonring::api

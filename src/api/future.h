@@ -1,0 +1,73 @@
+// pigeonring::api::Future<T> — the async result handle returned by
+// Session::SubmitBatch / SubmitSelfJoin.
+//
+// A Future resolves to StatusOr<T>: validation errors surface through
+// Get() exactly like their synchronous counterparts (an invalid request
+// yields an already-resolved future, it never reaches the executor).
+// Wait() / Get() may be called from any thread, and futures may be
+// harvested in any order — submissions on one executor can complete out
+// of submission order. Get() is one-shot: it blocks until the result is
+// ready and moves it out. Dropping a Future without Get() is safe: the
+// submitted work still runs to completion (snapshot teardown drains the
+// executor before releasing the index it probes).
+
+#ifndef PIGEONRING_API_FUTURE_H_
+#define PIGEONRING_API_FUTURE_H_
+
+#include <future>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pigeonring::api {
+
+class Session;
+
+namespace internal {
+struct FutureFactory;  // session.cc's bridge to the private constructor
+}
+
+template <typename T>
+class Future {
+ public:
+  /// An empty handle; valid() is false until move-assigned from a
+  /// Session::Submit* result.
+  Future() = default;
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  /// True iff this handle refers to a submission whose result has not been
+  /// taken yet.
+  bool valid() const { return inner_.valid(); }
+
+  /// Blocks until the result is ready (Get() will not block after this).
+  /// No-op on an empty or already-consumed handle.
+  void Wait() const {
+    if (inner_.valid()) inner_.wait();
+  }
+
+  /// Blocks until the result is ready and moves it out. One-shot: valid()
+  /// is false afterwards. Like every other api entry point, misuse is a
+  /// Status, not a crash: Get() on an empty or already-consumed handle
+  /// returns kFailedPrecondition instead of throwing std::future_error.
+  StatusOr<T> Get() {
+    if (!inner_.valid()) {
+      return Status::FailedPrecondition(
+          "Future::Get() on an empty or already-consumed future");
+    }
+    return inner_.get();
+  }
+
+ private:
+  friend struct internal::FutureFactory;
+  explicit Future(std::future<StatusOr<T>> inner)
+      : inner_(std::move(inner)) {}
+
+  std::future<StatusOr<T>> inner_;
+};
+
+}  // namespace pigeonring::api
+
+#endif  // PIGEONRING_API_FUTURE_H_

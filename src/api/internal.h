@@ -1,0 +1,89 @@
+// Implementation detail shared by api/db.cc and api/session.cc: the
+// type-erasure bridge between the public Query/Dataset variants and the
+// compile-time engine::Searcher concept, and the snapshot record a Db and
+// its Sessions share. Nothing here is part of the stable public surface —
+// include api/db.h or api/session.h instead.
+
+#ifndef PIGEONRING_API_INTERNAL_H_
+#define PIGEONRING_API_INTERNAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/query_stats.h"
+
+namespace pigeonring::api::internal {
+
+/// Mutable per-caller probe state over one immutable snapshot — the erased
+/// counterpart of an engine adapter clone. Each Session owns one (and each
+/// in-flight async submission owns another); a cursor is never shared
+/// between threads. Virtual dispatch happens once per call; the templated
+/// engine drivers run underneath unchanged.
+class AnyCursor {
+ public:
+  virtual ~AnyCursor() = default;
+  virtual std::vector<int> SearchOne(const Query& query,
+                                     engine::QueryStats* stats) = 0;
+  virtual std::vector<std::vector<int>> SearchBatch(
+      const std::vector<Query>& queries, const engine::ExecutionContext& ctx,
+      engine::QueryStats* stats) = 0;
+  virtual std::vector<engine::IdPair> SelfJoin(
+      const engine::ExecutionContext& ctx, engine::JoinStats* stats) = 0;
+};
+
+/// The immutable, type-erased index snapshot behind one opened Db: every
+/// method is const and safe to call from any number of threads; NewCursor
+/// mints the per-caller mutable state.
+class AnySearcher {
+ public:
+  virtual ~AnySearcher() = default;
+  virtual int size() const = 0;
+  virtual StatusOr<Query> RecordQuery(int id) const = 0;
+  /// Domain + shape check; queries passed to a cursor must have been
+  /// validated.
+  virtual Status ValidateQuery(const Query& query) const = 0;
+  virtual std::unique_ptr<AnyCursor> NewCursor() const = 0;
+};
+
+/// The shared range check behind Db::RecordQuery and Session::RecordQuery
+/// (both surfaces must reject the same ids with the same message).
+inline StatusOr<Query> RecordQueryOf(const AnySearcher& searcher, int id) {
+  if (id < 0 || id >= searcher.size()) {
+    return Status::OutOfRange("record id " + std::to_string(id) +
+                              " outside [0, " +
+                              std::to_string(searcher.size()) + ")");
+  }
+  return searcher.RecordQuery(id);
+}
+
+/// Everything a Db handle and its Sessions share, held behind
+/// shared_ptr<const DbState> so the snapshot outlives whichever of them is
+/// destroyed last. The executor is reachable mutably through the const
+/// state (unique_ptr propagates constness to the pointer, not the
+/// pointee): it is internally synchronized and scoped to this snapshot —
+/// the persistent replacement for the old pool-per-call pattern.
+///
+/// Ownership discipline for async jobs: a job submitted to the executor
+/// must NOT hold a shared_ptr<DbState> (directly or through a Session) —
+/// if it held the last reference, the dispatcher thread running it would
+/// destroy the executor and join itself. Jobs pin `searcher` (shared
+/// below for exactly this purpose) and address the executor through a raw
+/// pointer: that is safe for the whole job lifetime because ~Executor
+/// drains the queue and joins its dispatchers before the executor — let
+/// alone the members declared before it — goes away.
+struct DbState {
+  IndexSpec spec;
+  std::shared_ptr<const AnySearcher> searcher;
+  // Declared last so it is destroyed first: snapshot teardown begins by
+  // draining and joining the executor, after which no job can touch the
+  // other members.
+  std::unique_ptr<engine::Executor> executor;
+};
+
+}  // namespace pigeonring::api::internal
+
+#endif  // PIGEONRING_API_INTERNAL_H_

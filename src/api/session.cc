@@ -1,0 +1,194 @@
+#include "api/session.h"
+
+#include <exception>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/internal.h"
+#include "common/timer.h"
+
+namespace pigeonring::api {
+
+namespace internal {
+
+StatusOr<engine::ExecutionOptions> ResolveRunOptions(
+    const IndexSpec& spec, const RunOptions& options) {
+  // Negative RunOptions fields defer to the spec; explicit values get the
+  // same validation the spec-level fields do (chunk 0 is an error, not a
+  // silent fallback; num_threads 0 means hardware concurrency).
+  engine::ExecutionOptions resolved;
+  resolved.num_threads =
+      options.num_threads >= 0 ? options.num_threads : spec.num_threads;
+  resolved.chunk = options.chunk >= 0 ? options.chunk : spec.chunk;
+  if (resolved.chunk < 1) {
+    return Status::InvalidArgument("chunk=" +
+                                   std::to_string(resolved.chunk) +
+                                   " is invalid: expected >= 1");
+  }
+  return resolved;
+}
+
+/// session.cc's access to Future<T>'s private constructor.
+struct FutureFactory {
+  template <typename T>
+  static Future<T> Make(std::future<StatusOr<T>> inner) {
+    return Future<T>(std::move(inner));
+  }
+};
+
+namespace {
+
+/// Validates every query of a batch against the snapshot, prefixing the
+/// failing index.
+Status ValidateBatch(const AnySearcher& searcher,
+                     const std::vector<Query>& queries) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status valid = searcher.ValidateQuery(queries[i]);
+    if (!valid.ok()) {
+      return Status(valid.code(),
+                    "query " + std::to_string(i) + ": " + valid.message());
+    }
+  }
+  return Status::Ok();
+}
+
+/// An already-resolved future carrying a validation error — invalid
+/// requests never reach the executor.
+template <typename T>
+Future<T> ReadyFuture(Status status) {
+  std::promise<StatusOr<T>> promise;
+  promise.set_value(StatusOr<T>(std::move(status)));
+  return FutureFactory::Make<T>(promise.get_future());
+}
+
+/// The one implementation of the async-submission pattern behind both
+/// Submit* entry points. `work(cursor, context)` produces the result
+/// (its wall_millis is stamped here). The capture discipline is
+/// safety-critical and lives only here: the job pins the *searcher*
+/// (which the cursor points into) but deliberately NOT the DbState —
+/// holding the snapshot's last reference on a dispatcher thread would
+/// make the executor join itself (see internal.h). The raw executor
+/// pointer stays valid for the job's whole run because snapshot teardown
+/// drains and joins the executor first.
+template <typename T, typename Work>
+Future<T> SubmitJob(const DbState& state,
+                    const engine::ExecutionOptions& options, Work work) {
+  auto promise = std::make_shared<std::promise<StatusOr<T>>>();
+  Future<T> future = FutureFactory::Make<T>(promise->get_future());
+  state.executor->Submit(
+      [searcher = state.searcher, executor = state.executor.get(), promise,
+       options, work = std::move(work)] {
+        // An exception escaping a job would terminate the process (it
+        // unwinds into a dispatcher std::thread) or, if swallowed, break
+        // the promise. Convert to the Status the synchronous path's
+        // caller could have caught on its own thread.
+        StatusOr<T> outcome = [&]() -> StatusOr<T> {
+          try {
+            StopWatch watch;
+            const std::unique_ptr<AnyCursor> cursor = searcher->NewCursor();
+            engine::ExecutionContext context(*executor, options);
+            T result = work(*cursor, context);
+            result.wall_millis = watch.ElapsedMillis();
+            return result;
+          } catch (const std::exception& e) {
+            return Status::Internal(std::string("async request failed: ") +
+                                    e.what());
+          } catch (...) {
+            return Status::Internal(
+                "async request failed with an unknown exception");
+          }
+        }();
+        promise->set_value(std::move(outcome));
+      });
+  return future;
+}
+
+}  // namespace
+}  // namespace internal
+
+Session::Session(std::shared_ptr<const internal::DbState> state)
+    : state_(std::move(state)), cursor_(state_->searcher->NewCursor()) {}
+
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+const IndexSpec& Session::spec() const { return state_->spec; }
+
+int Session::num_records() const { return state_->searcher->size(); }
+
+StatusOr<Query> Session::RecordQuery(int id) const {
+  return internal::RecordQueryOf(*state_->searcher, id);
+}
+
+StatusOr<SearchResult> Session::Search(const Query& query) {
+  Status valid = state_->searcher->ValidateQuery(query);
+  if (!valid.ok()) return valid;
+  SearchResult result;
+  result.ids = cursor_->SearchOne(query, &result.stats);
+  return result;
+}
+
+StatusOr<BatchResult> Session::SearchBatch(const std::vector<Query>& queries,
+                                           const RunOptions& options) {
+  auto resolved = internal::ResolveRunOptions(state_->spec, options);
+  if (!resolved.ok()) return resolved.status();
+  Status valid = internal::ValidateBatch(*state_->searcher, queries);
+  if (!valid.ok()) return valid;
+  StopWatch watch;
+  engine::ExecutionContext context(*state_->executor, resolved.value());
+  BatchResult result;
+  result.ids = cursor_->SearchBatch(queries, context, &result.stats);
+  result.wall_millis = watch.ElapsedMillis();
+  return result;
+}
+
+StatusOr<JoinResult> Session::SelfJoin(const RunOptions& options) {
+  auto resolved = internal::ResolveRunOptions(state_->spec, options);
+  if (!resolved.ok()) return resolved.status();
+  StopWatch watch;
+  engine::ExecutionContext context(*state_->executor, resolved.value());
+  JoinResult result;
+  result.pairs = cursor_->SelfJoin(context, &result.stats);
+  result.wall_millis = watch.ElapsedMillis();
+  return result;
+}
+
+Future<BatchResult> Session::SubmitBatch(std::vector<Query> queries,
+                                         const RunOptions& options) {
+  auto resolved = internal::ResolveRunOptions(state_->spec, options);
+  if (!resolved.ok()) {
+    return internal::ReadyFuture<BatchResult>(resolved.status());
+  }
+  Status valid = internal::ValidateBatch(*state_->searcher, queries);
+  if (!valid.ok()) return internal::ReadyFuture<BatchResult>(valid);
+  // The submission gets its own cursor (minted inside the job), so it
+  // shares no scratch with this session's synchronous calls or with other
+  // in-flight submissions.
+  return internal::SubmitJob<BatchResult>(
+      *state_, resolved.value(),
+      [queries = std::move(queries)](internal::AnyCursor& cursor,
+                                     const engine::ExecutionContext& ctx) {
+        BatchResult result;
+        result.ids = cursor.SearchBatch(queries, ctx, &result.stats);
+        return result;
+      });
+}
+
+Future<JoinResult> Session::SubmitSelfJoin(const RunOptions& options) {
+  auto resolved = internal::ResolveRunOptions(state_->spec, options);
+  if (!resolved.ok()) {
+    return internal::ReadyFuture<JoinResult>(resolved.status());
+  }
+  return internal::SubmitJob<JoinResult>(
+      *state_, resolved.value(),
+      [](internal::AnyCursor& cursor, const engine::ExecutionContext& ctx) {
+        JoinResult result;
+        result.pairs = cursor.SelfJoin(ctx, &result.stats);
+        return result;
+      });
+}
+
+}  // namespace pigeonring::api

@@ -4,15 +4,15 @@
 
 namespace pigeonring {
 
+int ThreadPool::ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
-  }
-  workers_.reserve(static_cast<size_t>(num_threads) - 1);
-  for (int i = 1; i < num_threads; ++i) {
-    workers_.emplace_back([this, i] { WorkerMain(i); });
-  }
+  std::scoped_lock lock(loop_mu_, mu_);
+  SpawnWorkersLocked(ResolveThreads(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,6 +24,26 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::SpawnWorkersLocked(int target_total) {
+  workers_.reserve(static_cast<size_t>(std::max(1, target_total)) - 1);
+  while (static_cast<int>(workers_.size()) + 1 < target_total) {
+    const int index = static_cast<int>(workers_.size()) + 1;
+    // Late-joining workers must not mistake the *current* generation for a
+    // fresh loop, so they start already caught up with it.
+    workers_.emplace_back(
+        [this, index, gen = generation_] { WorkerMain(index, gen); });
+  }
+  total_threads_.store(static_cast<int>(workers_.size()) + 1,
+                       std::memory_order_release);
+}
+
+void ThreadPool::EnsureThreads(int min_threads) {
+  const int target = ResolveThreads(min_threads);
+  if (target <= num_threads()) return;
+  std::scoped_lock lock(loop_mu_, mu_);
+  SpawnWorkersLocked(target);
+}
+
 void ThreadPool::RunChunks(int thread_index) {
   while (true) {
     const int64_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
@@ -32,18 +52,26 @@ void ThreadPool::RunChunks(int thread_index) {
   }
 }
 
-void ThreadPool::WorkerMain(int thread_index) {
-  uint64_t seen_generation = 0;
+void ThreadPool::WorkerMain(int thread_index, uint64_t seen_generation) {
   while (true) {
+    int active = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(
           lock, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      active = active_threads_;
     }
-    RunChunks(thread_index);
-    {
+    // Only participants check in: working_ counts exactly the workers
+    // below the loop's width, so a narrow loop on a wide (historically
+    // grown) pool never waits on — or serializes with — the bystanders.
+    // A bystander just notes the generation and goes back to sleep; if it
+    // wakes late it sees the newest generation and loop state, never a
+    // stale one (loops are serialized by loop_mu_ and a participant can
+    // never be late: ParallelFor waits for its check-in).
+    if (thread_index < active) {
+      RunChunks(thread_index);
       std::lock_guard<std::mutex> lock(mu_);
       if (--working_ == 0) done_cv_.notify_one();
     }
@@ -51,20 +79,27 @@ void ThreadPool::WorkerMain(int thread_index) {
 }
 
 void ThreadPool::ParallelFor(
-    int64_t n, int64_t chunk,
+    int64_t n, int64_t chunk, int max_threads,
     const std::function<void(int, int64_t, int64_t)>& fn) {
   if (n <= 0) return;
-  chunk_ = std::max<int64_t>(1, chunk);
-  if (workers_.empty() || n <= chunk_) {
+  const int64_t step = std::max<int64_t>(1, chunk);
+  int width = num_threads();
+  if (max_threads > 0) width = std::min(width, max_threads);
+  if (width <= 1 || n <= step) {
+    // Inline path: touches none of the shared loop state, so it may run
+    // concurrently with a worker-backed loop of another caller.
     fn(0, 0, n);
     return;
   }
+  std::lock_guard<std::mutex> loop_lock(loop_mu_);
+  chunk_ = step;
   limit_ = n;
   body_ = &fn;
   next_.store(0, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    working_ = static_cast<int>(workers_.size());
+    active_threads_ = width;
+    working_ = width - 1;  // participating workers; the caller is thread 0
     ++generation_;
   }
   start_cv_.notify_all();

@@ -1,11 +1,27 @@
-// A small fork-join pool for data-parallel loops.
+// A persistent fork-join pool for data-parallel loops.
 //
 // The engine's batch drivers shard probes over threads with ParallelFor:
 // chunks of the index range are claimed dynamically from a shared counter,
 // so threads that finish their chunks early keep stealing from the
 // remaining range (cheap work stealing without per-thread deques). The
-// calling thread always participates as thread 0, so ThreadPool(1) spawns
-// no workers and runs every loop inline — the sequential reference path.
+// calling thread always participates as thread 0, so a 1-wide loop spawns
+// no workers and runs inline — the sequential reference path.
+//
+// The pool is built to be *held*, not rebuilt per call (engine::Executor
+// keeps one per opened Db):
+//
+//  * ParallelFor is safe to call from multiple threads concurrently. Loops
+//    that actually use workers serialize on an internal mutex (one loop in
+//    flight at a time — the deterministic merge contracts of the engine
+//    drivers are per-loop, so interleaving chunks of different loops would
+//    buy nothing); loops that run inline (width 1 or n <= chunk) bypass
+//    the shared loop state entirely and may overlap freely.
+//  * EnsureThreads grows the worker set on demand and never shrinks it, so
+//    a caller asking for more parallelism than any previous loop pays the
+//    thread-spawn cost once, not per call.
+//  * ParallelFor takes a max_threads cap so a loop can run narrower than
+//    the pool (per-thread scratch is sized by the cap, and `thread`
+//    indexes stay below it).
 
 #ifndef PIGEONRING_COMMON_THREAD_POOL_H_
 #define PIGEONRING_COMMON_THREAD_POOL_H_
@@ -22,7 +38,7 @@ namespace pigeonring {
 
 class ThreadPool {
  public:
-  /// Creates a pool that runs loops on `num_threads` threads in total,
+  /// Creates a pool that can run loops on `num_threads` threads in total,
   /// counting the calling thread. 0 means std::thread::hardware_concurrency
   /// (at least 1). Workers idle on a condition variable between loops.
   explicit ThreadPool(int num_threads = 0);
@@ -31,23 +47,52 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total threads a loop runs on, including the caller.
-  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+  /// Total threads a loop may currently run on, including the caller.
+  int num_threads() const {
+    return total_threads_.load(std::memory_order_acquire);
+  }
+
+  /// The one resolution rule for requested thread counts: values > 0 pass
+  /// through, anything else means hardware concurrency (at least 1). The
+  /// constructor, EnsureThreads, and engine::ExecutionContext all share it.
+  static int ResolveThreads(int num_threads);
+
+  /// Grows the pool (if needed) so loops can run on up to `num_threads`
+  /// threads in total; 0 means hardware concurrency. Never shrinks.
+  /// Thread-safe; blocks until no loop is in flight.
+  void EnsureThreads(int num_threads);
 
   /// Runs fn(thread, begin, end) over dynamically claimed chunks [begin,
-  /// end) of [0, n); `thread` is in [0, num_threads()) and names the thread
-  /// executing the chunk (0 is the caller), so fn may use it to index
-  /// per-thread scratch without locking. At most `chunk` indexes are
-  /// claimed per scheduling step. Blocks until the whole range is done.
-  /// One loop at a time; fn must not call ParallelFor on the same pool.
-  void ParallelFor(int64_t n, int64_t chunk,
+  /// end) of [0, n); `thread` names the thread executing the chunk (0 is
+  /// the caller), so fn may use it to index per-thread scratch without
+  /// locking. With `max_threads` > 0 at most that many threads participate
+  /// (capped by the pool size) and every `thread` index stays below the
+  /// cap; 0 means every pool thread. At most `chunk` indexes are claimed
+  /// per scheduling step. Blocks until the whole range is done.
+  ///
+  /// Safe to call from multiple threads concurrently (see file comment);
+  /// fn must not call ParallelFor on the same pool with a width > 1.
+  void ParallelFor(int64_t n, int64_t chunk, int max_threads,
                    const std::function<void(int, int64_t, int64_t)>& fn);
 
+  /// ParallelFor over every pool thread.
+  void ParallelFor(int64_t n, int64_t chunk,
+                   const std::function<void(int, int64_t, int64_t)>& fn) {
+    ParallelFor(n, chunk, /*max_threads=*/0, fn);
+  }
+
  private:
-  void WorkerMain(int thread_index);
+  /// Spawns workers until the pool is `target_total` wide. Requires
+  /// loop_mu_ and mu_ held.
+  void SpawnWorkersLocked(int target_total);
+  void WorkerMain(int thread_index, uint64_t seen_generation);
   /// Claims and runs chunks of the current loop until the range is
   /// exhausted.
   void RunChunks(int thread_index);
+
+  /// Serializes worker-backed loops (and pool growth) across caller
+  /// threads. Always acquired before mu_.
+  std::mutex loop_mu_;
 
   std::mutex mu_;
   std::condition_variable start_cv_;
@@ -55,15 +100,18 @@ class ThreadPool {
   bool stop_ = false;          // guarded by mu_
   uint64_t generation_ = 0;    // guarded by mu_; bumped once per loop
   int working_ = 0;            // guarded by mu_; workers still in the loop
+  int active_threads_ = 0;     // guarded by mu_; loop width incl. caller
 
-  // The loop in flight. Written by ParallelFor before the generation bump
-  // (the mutex release/acquire pair publishes them to the workers).
+  // The loop in flight. Written by ParallelFor under loop_mu_ before the
+  // generation bump (the mutex release/acquire pair publishes them to the
+  // workers).
   std::atomic<int64_t> next_{0};
   int64_t limit_ = 0;
   int64_t chunk_ = 1;
   const std::function<void(int, int64_t, int64_t)>* body_ = nullptr;
 
-  std::vector<std::thread> workers_;
+  std::atomic<int> total_threads_{1};  // workers_.size() + 1
+  std::vector<std::thread> workers_;   // guarded by loop_mu_ + mu_
 };
 
 }  // namespace pigeonring

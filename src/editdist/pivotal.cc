@@ -11,33 +11,35 @@ namespace pigeonring::editdist {
 
 EditDistanceSearcher::EditDistanceSearcher(
     const std::vector<std::string>* data, int tau, int kappa)
-    : data_(data), tau_(tau), kappa_(kappa), dictionary_(*data, kappa) {
+    : data_(data), tau_(tau), kappa_(kappa) {
   PR_CHECK(data_ != nullptr);
   PR_CHECK(tau_ >= 0);
   PR_CHECK_MSG(tau_ + 1 <= 64, "ruled-out bitmask supports at most 64 boxes");
   const int n = static_cast<int>(data_->size());
-  profiles_.reserve(n);
-  padded_.reserve(n);
-  window_masks_.reserve(n);
+  auto index = std::make_shared<Index>(*data, kappa);
+  index->profiles.reserve(n);
+  index->padded.reserve(n);
+  index->window_masks.reserve(n);
   for (int id = 0; id < n; ++id) {
     const std::string& s = (*data_)[id];
-    profiles_.push_back(dictionary_.Profile(s, tau_));
-    padded_.push_back(PadForGrams(s, kappa_));
-    window_masks_.push_back(WindowMasks(padded_.back()));
-    ids_by_length_[static_cast<int>(s.size())].push_back(id);
-    const GramProfile& profile = profiles_.back();
+    index->profiles.push_back(index->dictionary.Profile(s, tau_));
+    index->padded.push_back(PadForGrams(s, kappa_));
+    index->window_masks.push_back(WindowMasks(index->padded.back()));
+    index->ids_by_length[static_cast<int>(s.size())].push_back(id);
+    const GramProfile& profile = index->profiles.back();
     if (profile.is_short) {
-      short_ids_.push_back(id);
+      index->short_ids.push_back(id);
       continue;
     }
     for (size_t j = 0; j < profile.pivotal.size(); ++j) {
-      pivotal_index_[profile.pivotal[j].rank].push_back(
+      index->pivotal_index[profile.pivotal[j].rank].push_back(
           {id, static_cast<int>(j), profile.pivotal[j].position});
     }
     for (const Gram& g : profile.prefix) {
-      prefix_index_[g.rank].push_back({id, g.position});
+      index->prefix_index[g.rank].push_back({id, g.position});
     }
   }
+  index_ = std::move(index);
   seen_epoch_.assign(n, 0);
   decided_.assign(n, 0);
   ruled_out_.assign(n, 0);
@@ -85,10 +87,11 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
   StopWatch total_watch;
   StopWatch phase_watch;
   EditSearchStats local;
+  const Index& index = *index_;
   const int m = tau_ + 1;
   const int l = std::clamp(chain_length, 1, m);
   const int q_len = static_cast<int>(query.size());
-  const GramProfile q_profile = dictionary_.Profile(query, tau_);
+  const GramProfile q_profile = index.dictionary.Profile(query, tau_);
 
   ++epoch_;
   auto touch = [&](int id) {
@@ -111,13 +114,13 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
     // Too few query grams for the pivotal scheme: fall back to the length
     // filter for the whole collection.
     for (int len = q_len - tau_; len <= q_len + tau_; ++len) {
-      auto it = ids_by_length_.find(len);
-      if (it == ids_by_length_.end()) continue;
+      auto it = index.ids_by_length.find(len);
+      if (it == index.ids_by_length.end()) continue;
       for (int id : it->second) add_candidate(id);
     }
   } else {
     // Short data strings are always candidates (within the length window).
-    for (int id : short_ids_) {
+    for (int id : index.short_ids) {
       const int len = static_cast<int>((*data_)[id].size());
       if (std::abs(len - q_len) <= tau_) add_candidate(id);
     }
@@ -170,11 +173,11 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
     // pivotal grams.
     for (const Gram& g : q_profile.prefix) {
       if (g.rank < 0) continue;
-      auto it = pivotal_index_.find(g.rank);
-      if (it == pivotal_index_.end()) continue;
+      auto it = index.pivotal_index.find(g.rank);
+      if (it == index.pivotal_index.end()) continue;
       for (const PivotalPosting& posting : it->second) {
         ++local.index_hits;
-        const GramProfile& x_profile = profiles_[posting.id];
+        const GramProfile& x_profile = index.profiles[posting.id];
         if (x_profile.prefix_last_rank > q_profile.prefix_last_rank) continue;
         if (std::abs(posting.position - g.position) > tau_) continue;
         const int x_len = static_cast<int>((*data_)[posting.id].size());
@@ -188,11 +191,11 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
     for (size_t j = 0; j < q_profile.pivotal.size(); ++j) {
       const Gram& g = q_profile.pivotal[j];
       if (g.rank < 0) continue;
-      auto it = prefix_index_.find(g.rank);
-      if (it == prefix_index_.end()) continue;
+      auto it = index.prefix_index.find(g.rank);
+      if (it == index.prefix_index.end()) continue;
       for (const PrefixPosting& posting : it->second) {
         ++local.index_hits;
-        const GramProfile& x_profile = profiles_[posting.id];
+        const GramProfile& x_profile = index.profiles[posting.id];
         if (x_profile.prefix_last_rank <= q_profile.prefix_last_rank) {
           continue;
         }
@@ -200,7 +203,7 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
         const int x_len = static_cast<int>((*data_)[posting.id].size());
         if (std::abs(x_len - q_len) > tau_) continue;
         touch(posting.id);
-        ring_check(posting.id, q_profile, window_masks_[posting.id],
+        ring_check(posting.id, q_profile, index.window_masks[posting.id],
                    static_cast<int>(j));
       }
     }
@@ -213,7 +216,7 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
   if (filter == EditFilter::kPivotal && !q_profile.is_short) {
     const std::string q_padded = PadForGrams(query, kappa_);
     for (int id : candidates) {
-      const GramProfile& x_profile = profiles_[id];
+      const GramProfile& x_profile = index.profiles[id];
       if (x_profile.is_short) {
         stage2.push_back(id);
         continue;
@@ -221,8 +224,8 @@ std::vector<int> EditDistanceSearcher::Search(const std::string& query,
       const bool side_is_x =
           x_profile.prefix_last_rank <= q_profile.prefix_last_rank;
       const GramProfile& side_profile = side_is_x ? x_profile : q_profile;
-      const std::string& side = side_is_x ? padded_[id] : q_padded;
-      const std::string& other = side_is_x ? q_padded : padded_[id];
+      const std::string& side = side_is_x ? index.padded[id] : q_padded;
+      const std::string& other = side_is_x ? q_padded : index.padded[id];
       int sum = 0;
       for (const Gram& gram : side_profile.pivotal) {
         sum += ExactBox(side, gram, other);

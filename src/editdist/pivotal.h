@@ -25,6 +25,7 @@
 #define PIGEONRING_EDITDIST_PIVOTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,13 @@ struct EditSearchStats {
 };
 
 /// Searcher for ed(x, q) <= tau over a fixed string collection.
+///
+/// Copies are cheap and parallel-safe: the gram dictionary, per-record
+/// profiles, padded strings, window masks, and the pivotal / prefix /
+/// length indexes are immutable after construction and shared between
+/// copies behind a shared_ptr (concurrent reads, no locks); only the
+/// epoch-stamped per-query scratch is per-copy. The engine's per-thread
+/// clones and the api layer's per-session cursors rely on this.
 class EditDistanceSearcher {
  public:
   /// Indexes `data` for threshold `tau` with gram length `kappa` (the
@@ -100,17 +108,25 @@ class EditDistanceSearcher {
   int ExactBox(const std::string& side, const Gram& gram,
                const std::string& other) const;
 
+  // Immutable after construction, shared between copies.
+  struct Index {
+    Index(const std::vector<std::string>& data, int kappa)
+        : dictionary(data, kappa) {}
+
+    GramDictionary dictionary;
+    std::vector<GramProfile> profiles;
+    std::vector<std::string> padded;                  // PadForGrams(record)
+    std::vector<std::vector<uint64_t>> window_masks;  // over padded records
+    std::unordered_map<int, std::vector<PivotalPosting>> pivotal_index;
+    std::unordered_map<int, std::vector<PrefixPosting>> prefix_index;
+    std::unordered_map<int, std::vector<int>> ids_by_length;
+    std::vector<int> short_ids;
+  };
+
   const std::vector<std::string>* data_;
   int tau_;
   int kappa_;
-  GramDictionary dictionary_;
-  std::vector<GramProfile> profiles_;
-  std::vector<std::string> padded_;                  // PadForGrams(record)
-  std::vector<std::vector<uint64_t>> window_masks_;  // over padded records
-  std::unordered_map<int, std::vector<PivotalPosting>> pivotal_index_;
-  std::unordered_map<int, std::vector<PrefixPosting>> prefix_index_;
-  std::unordered_map<int, std::vector<int>> ids_by_length_;
-  std::vector<int> short_ids_;
+  std::shared_ptr<const Index> index_;
 
   uint32_t epoch_ = 0;
   std::vector<uint32_t> seen_epoch_;

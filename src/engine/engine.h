@@ -1,9 +1,9 @@
 // The unified query engine: batch and self-join drivers over any Searcher.
 //
-// Both drivers shard work over a ThreadPool: thread 0 runs on the caller's
-// adapter in place, every extra thread gets its own clone (see searcher.h
-// for why clones are race-free), so the sequential path copies nothing.
-// Per-thread outputs merge deterministically:
+// Both drivers shard work over the ExecutionContext's pool: thread 0 runs
+// on the caller's adapter in place, every extra thread gets its own clone
+// (see searcher.h for why clones are race-free), so the sequential path
+// copies nothing. Per-thread outputs merge deterministically:
 //
 //  * SearchBatch writes each query's result into its input slot, so the
 //    output order is the input order regardless of scheduling.
@@ -11,8 +11,15 @@
 //    pair buffers, so the result is byte-identical to the sequential
 //    path's; merged counter sums are order-independent by construction.
 //
-// num_threads == 1 is the sequential reference path: no worker threads are
-// spawned and the loop runs inline on the caller.
+// A loop width of 1 is the sequential reference path: no worker threads
+// run and the loop executes inline on the caller.
+//
+// The ExecutionContext overloads are the steady-state path: they borrow a
+// persistent engine::Executor (api::Db keeps one per opened snapshot) and
+// construct no ThreadPool. The ExecutionOptions overloads are
+// conveniences for one-shot callers (tests, benches, the join/ wrappers):
+// they stand up a transient Executor for the call — fine for a single
+// measurement, wrong for a server loop.
 
 #ifndef PIGEONRING_ENGINE_ENGINE_H_
 #define PIGEONRING_ENGINE_ENGINE_H_
@@ -21,18 +28,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "common/timer.h"
+#include "engine/executor.h"
 #include "engine/query_stats.h"
 #include "engine/searcher.h"
 
 namespace pigeonring::engine {
-
-/// How a batch driver shards its work.
-struct ExecutionOptions {
-  int num_threads = 1;  // 0 = hardware concurrency
-  int chunk = 8;        // probes claimed per scheduling step
-};
 
 namespace internal {
 
@@ -58,15 +59,15 @@ std::vector<S*> CloneForThreads(S& prototype, std::vector<S>& clones,
 template <Searcher S>
 std::vector<std::vector<int>> SearchBatch(
     S& prototype, const std::vector<typename S::Query>& queries,
-    const ExecutionOptions& options = {}, QueryStats* stats = nullptr) {
-  ThreadPool pool(options.num_threads);
+    const ExecutionContext& context, QueryStats* stats = nullptr) {
   std::vector<S> clones;
   const auto searchers =
-      internal::CloneForThreads(prototype, clones, pool.num_threads());
+      internal::CloneForThreads(prototype, clones, context.num_threads());
   std::vector<QueryStats> partial(searchers.size());
   std::vector<std::vector<int>> results(queries.size());
-  pool.ParallelFor(
-      static_cast<int64_t>(queries.size()), options.chunk,
+  context.pool().ParallelFor(
+      static_cast<int64_t>(queries.size()), context.chunk(),
+      context.num_threads(),
       [&](int thread, int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
           QueryStats query_stats;
@@ -82,22 +83,31 @@ std::vector<std::vector<int>> SearchBatch(
   return results;
 }
 
+/// One-shot convenience: runs the batch on a transient Executor.
+template <Searcher S>
+std::vector<std::vector<int>> SearchBatch(
+    S& prototype, const std::vector<typename S::Query>& queries,
+    const ExecutionOptions& options = {}, QueryStats* stats = nullptr) {
+  Executor executor(options.num_threads);
+  return SearchBatch(prototype, queries, ExecutionContext(executor, options),
+                     stats);
+}
+
 /// Probes every record of `prototype`'s collection against the collection
 /// itself and returns each unordered matching pair (i, j) with i < j
-/// exactly once, sorted — the same canonical order at any thread count.
+/// exactly once, sorted — the same canonical order at any loop width.
 template <Searcher S>
-std::vector<IdPair> SelfJoin(S& prototype,
-                             const ExecutionOptions& options = {},
+std::vector<IdPair> SelfJoin(S& prototype, const ExecutionContext& context,
                              JoinStats* stats = nullptr) {
   StopWatch watch;
-  ThreadPool pool(options.num_threads);
   std::vector<S> clones;
   const auto searchers =
-      internal::CloneForThreads(prototype, clones, pool.num_threads());
+      internal::CloneForThreads(prototype, clones, context.num_threads());
   std::vector<std::vector<IdPair>> found(searchers.size());
   std::vector<QueryStats> partial(searchers.size());
-  pool.ParallelFor(
-      static_cast<int64_t>(prototype.size()), options.chunk,
+  context.pool().ParallelFor(
+      static_cast<int64_t>(prototype.size()), context.chunk(),
+      context.num_threads(),
       [&](int thread, int64_t begin, int64_t end) {
         S& searcher = *searchers[thread];
         for (int64_t i = begin; i < end; ++i) {
@@ -134,6 +144,15 @@ std::vector<IdPair> SelfJoin(S& prototype,
     stats->total_millis = watch.ElapsedMillis();
   }
   return pairs;
+}
+
+/// One-shot convenience: runs the join on a transient Executor.
+template <Searcher S>
+std::vector<IdPair> SelfJoin(S& prototype,
+                             const ExecutionOptions& options = {},
+                             JoinStats* stats = nullptr) {
+  Executor executor(options.num_threads);
+  return SelfJoin(prototype, ExecutionContext(executor, options), stats);
 }
 
 }  // namespace pigeonring::engine

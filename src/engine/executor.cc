@@ -1,0 +1,43 @@
+#include "engine/executor.h"
+
+#include <utility>
+
+namespace pigeonring::engine {
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& dispatcher : dispatchers_) dispatcher.join();
+}
+
+void Executor::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+    if (static_cast<int>(dispatchers_.size()) < kNumDispatchers) {
+      dispatchers_.emplace_back([this] { DispatcherMain(); });
+    }
+  }
+  jobs_cv_.notify_one();
+}
+
+void Executor::DispatcherMain() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [&] { return jobs_stop_ || !jobs_.empty(); });
+      // Drain before stopping: a submitted job's future must always
+      // resolve.
+      if (jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace pigeonring::engine

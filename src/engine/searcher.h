@@ -10,13 +10,14 @@
 //   Search(q, s) — ids of all records matching q, stats in engine units
 //
 // Copy construction is the cloning mechanism for parallel execution: the
-// drivers copy the adapter once per *extra* thread (thread 0 uses the
-// caller's adapter in place), which deep-copies the wrapped searcher —
-// its indexes, its epoch-stamped scratch, and, for HammingAdapter, the
-// bit-vector collection the searcher owns by value together with its
-// FlatBitTable kernel mirror (kernels/flat_bit_table.h), so each thread
-// verifies against its own cache-resident rows. The set / edit / graph
-// adapters share their caller-owned collection behind a const pointer.
+// engine drivers copy the adapter once per *extra* thread (thread 0 uses
+// the caller's adapter in place), and the api layer copies it once per
+// Session cursor. Copies are cheap because every wrapped searcher keeps
+// its immutable state — indexes, collections, kernel mirrors — behind
+// shared_ptr<const> (concurrent reads, no locks) and only its
+// epoch-stamped per-query scratch per-copy. The set / edit / graph
+// adapters additionally view their caller-owned collection through a
+// const pointer (the api::Db snapshot owns it and outlives every cursor).
 // Clones never share mutable state, so they are safe to use concurrently.
 
 #ifndef PIGEONRING_ENGINE_SEARCHER_H_

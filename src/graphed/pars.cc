@@ -118,13 +118,15 @@ GraphSearcher::GraphSearcher(const std::vector<Graph>* data, int tau,
   PR_CHECK(data_ != nullptr);
   PR_CHECK(tau_ >= 0);
   PR_CHECK_MSG(tau_ + 1 <= 64, "ruled-out bitmask supports at most 64 boxes");
-  parts_.reserve(data_->size());
-  histograms_.reserve(data_->size());
+  auto state = std::make_shared<State>();
+  state->parts.reserve(data_->size());
+  state->histograms.reserve(data_->size());
   for (size_t id = 0; id < data_->size(); ++id) {
-    parts_.push_back(
+    state->parts.push_back(
         PartitionGraph((*data_)[id], tau_ + 1, partition_seed + id));
-    histograms_.push_back(BuildHistogram((*data_)[id]));
+    state->histograms.push_back(BuildHistogram((*data_)[id]));
   }
+  state_ = std::move(state);
 }
 
 GraphSearcher::LabelHistogram GraphSearcher::BuildHistogram(
@@ -178,8 +180,8 @@ std::vector<int> GraphSearcher::Search(const Graph& query, GraphFilter filter,
   for (int id = 0; id < static_cast<int>(data_->size()); ++id) {
     const Graph& x = (*data_)[id];
     if (SizeLowerBound(x, query) > tau_) continue;
-    if (HistogramLowerBound(histograms_[id], q_hist) > tau_) continue;
-    const std::vector<Part>& parts = parts_[id];
+    if (HistogramLowerBound(state_->histograms[id], q_hist) > tau_) continue;
+    const std::vector<Part>& parts = state_->parts[id];
     uint64_t ruled_out = 0;
     bool is_candidate = false;
     for (int i = 0; i < m && !is_candidate; ++i) {

@@ -22,6 +22,7 @@
 #define PIGEONRING_GRAPHED_PARS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graphed/partition.h"
@@ -52,6 +53,12 @@ int DeletionNeighborhoodBound(const Part& part, const Graph& query,
                               int max_ops, int64_t* subiso_tests);
 
 /// Searcher for ged(x, q) <= tau over a fixed graph collection.
+///
+/// Copies are cheap and parallel-safe: the per-graph partitions and label
+/// histograms are immutable after construction and shared between copies
+/// behind a shared_ptr (concurrent reads, no locks); the searcher keeps no
+/// per-query scratch. The engine's per-thread clones and the api layer's
+/// per-session cursors rely on this.
 class GraphSearcher {
  public:
   /// Partitions every data graph into tau + 1 parts (deterministic in
@@ -61,7 +68,7 @@ class GraphSearcher {
 
   int tau() const { return tau_; }
   int num_boxes() const { return tau_ + 1; }
-  const std::vector<Part>& parts(int id) const { return parts_[id]; }
+  const std::vector<Part>& parts(int id) const { return state_->parts[id]; }
 
   /// Finds ids of all graphs with ged(x, query) <= tau. `chain_length` is
   /// used only by GraphFilter::kRing (the paper's best setting is
@@ -85,10 +92,15 @@ class GraphSearcher {
   static int HistogramLowerBound(const LabelHistogram& a,
                                  const LabelHistogram& b);
 
+  // Immutable after construction, shared between copies.
+  struct State {
+    std::vector<std::vector<Part>> parts;
+    std::vector<LabelHistogram> histograms;
+  };
+
   const std::vector<Graph>* data_;
   int tau_;
-  std::vector<std::vector<Part>> parts_;
-  std::vector<LabelHistogram> histograms_;
+  std::shared_ptr<const State> state_;
 };
 
 /// Reference result set by exhaustive GED scan.

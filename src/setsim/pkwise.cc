@@ -46,8 +46,9 @@ PkwiseSearcher::PkwiseSearcher(const SetCollection* collection, double tau,
     PR_CHECK(tau_ >= 1.0);
   }
   const int n = collection_->num_records();
-  prefixes_.reserve(n);
-  inverted_.assign(collection_->universe_size(), {});
+  auto index = std::make_shared<Index>();
+  index->prefixes.reserve(n);
+  index->inverted.assign(collection_->universe_size(), {});
   for (int id = 0; id < n; ++id) {
     const RankedSet& x = collection_->record(id);
     // Records smaller than their own minimum overlap can never qualify;
@@ -55,11 +56,12 @@ PkwiseSearcher::PkwiseSearcher(const SetCollection* collection, double tau,
     const int o_x = std::max(
         1, std::min<int>(static_cast<int>(x.size()),
                          RecordMinOverlap(static_cast<int>(x.size()))));
-    prefixes_.push_back(ComputePrefixInfo(x, o_x, num_classes_));
-    for (int p = 0; p < prefixes_.back().prefix_length; ++p) {
-      inverted_[x[p]].push_back(id);
+    index->prefixes.push_back(ComputePrefixInfo(x, o_x, num_classes_));
+    for (int p = 0; p < index->prefixes.back().prefix_length; ++p) {
+      index->inverted[x[p]].push_back(id);
     }
   }
+  index_ = std::move(index);
   seen_epoch_.assign(n, 0);
   class_counts_.assign(static_cast<size_t>(n) * (num_classes_ + 1), 0);
   touched_.reserve(1024);
@@ -82,11 +84,12 @@ std::vector<int> PkwiseSearcher::Search(const RankedSet& query,
   touched_.clear();
 
   // Step 1: accumulate per-class shared prefix counts (= class box values).
+  const Index& index = *index_;
   for (int p = 0; p < q_info.prefix_length; ++p) {
     const int rank = query[p];
-    if (rank < 0 || rank >= static_cast<int>(inverted_.size())) continue;
+    if (rank < 0 || rank >= static_cast<int>(index.inverted.size())) continue;
     const int k = TokenClass(rank, num_classes_);
-    for (int id : inverted_[rank]) {
+    for (int id : index.inverted[rank]) {
       const int x_size = static_cast<int>(collection_->record(id).size());
       if (x_size < min_size || x_size > max_size) continue;
       ++local.index_hits;
@@ -106,7 +109,7 @@ std::vector<int> PkwiseSearcher::Search(const RankedSet& query,
   for (int id : touched_) {
     const int* counts =
         &class_counts_[static_cast<size_t>(id) * (num_classes_ + 1)];
-    const PrefixInfo& x_info = prefixes_[id];
+    const PrefixInfo& x_info = index.prefixes[id];
     // The applicable threshold side is the one whose prefix ends first in
     // the global order; its suffix box is provably non-viable, so every
     // prefix-viable chain must start at a class box (§6.2).

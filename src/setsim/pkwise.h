@@ -22,6 +22,7 @@
 #define PIGEONRING_SETSIM_PKWISE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "setsim/prefix.h"
@@ -51,6 +52,12 @@ enum class SetMeasure {
 
 /// pkwise / Ring searcher for thresholded set similarity queries over a
 /// fixed collection.
+///
+/// Copies are cheap and parallel-safe: the per-record prefix metadata and
+/// the prefix-token inverted index are immutable after construction and
+/// shared between copies behind a shared_ptr (concurrent reads, no locks);
+/// only the epoch-stamped per-query scratch is per-copy. The engine's
+/// per-thread clones and the api layer's per-session cursors rely on this.
 class PkwiseSearcher {
  public:
   /// Indexes `collection` for queries with similarity >= `tau` under
@@ -75,14 +82,18 @@ class PkwiseSearcher {
   /// Admissible record sizes for a query of `size`.
   std::pair<int, int> SizeWindow(int size) const;
 
+  // Immutable after construction, shared between copies.
+  struct Index {
+    std::vector<PrefixInfo> prefixes;        // per record
+    std::vector<std::vector<int>> inverted;  // token rank -> prefix ids
+  };
+
   const SetCollection* collection_;
   double tau_;
   int num_boxes_;
   int num_classes_;  // num_boxes_ - 1
   SetMeasure measure_;
-
-  std::vector<PrefixInfo> prefixes_;  // per record
-  std::vector<std::vector<int>> inverted_;  // token rank -> ids (prefix only)
+  std::shared_ptr<const Index> index_;
 
   // Per-query scratch (epoch-stamped).
   uint32_t epoch_ = 0;

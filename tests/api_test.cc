@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "api_test_util.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
@@ -69,17 +70,6 @@ std::vector<graphed::Graph> MakeGraphs(int n, uint64_t seed) {
   config.max_perturb_ops = 2;
   config.seed = seed;
   return datagen::GenerateGraphs(config);
-}
-
-// Deterministic counters only — wall clock is never comparable.
-void ExpectSameCounters(const engine::QueryStats& a,
-                        const engine::QueryStats& b) {
-  EXPECT_EQ(a.candidates, b.candidates);
-  EXPECT_EQ(a.candidates_stage2, b.candidates_stage2);
-  EXPECT_EQ(a.results, b.results);
-  EXPECT_EQ(a.index_hits, b.index_hits);
-  EXPECT_EQ(a.chain_checks, b.chain_checks);
-  EXPECT_EQ(a.subiso_tests, b.subiso_tests);
 }
 
 // Runs the same workload through a hand-wired adapter (the pre-redesign
@@ -232,6 +222,116 @@ TEST(DbTest, RunOptionsAreValidatedLikeTheSpec) {
             StatusCode::kInvalidArgument);
   options.chunk = -5;  // any negative defers to the spec
   EXPECT_TRUE(db->SelfJoin(options).ok());
+}
+
+// Every call path — Session sync, Session async, and the deprecated Db
+// shims — resolves RunOptions through the one shared helper, so the error
+// surface must be identical on all of them.
+TEST(DbTest, RunOptionsErrorsAreIdenticalOnEveryCallPath) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  auto db = Db::Open(spec, Dataset(MakeVectors(30, 64, 11)));
+  ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
+  std::vector<Query> queries = {std::move(db->RecordQuery(0)).value()};
+
+  RunOptions bad;
+  bad.chunk = 0;
+  const Status sync_batch = session.SearchBatch(queries, bad).status();
+  const Status sync_join = session.SelfJoin(bad).status();
+  const Status async_batch = session.SubmitBatch(queries, bad).Get().status();
+  const Status async_join = session.SubmitSelfJoin(bad).Get().status();
+  const Status shim_batch = db->SearchBatch(queries, bad).status();
+  const Status shim_join = db->SelfJoin(bad).status();
+  for (const Status& status : {sync_batch, sync_join, async_batch,
+                               async_join, shim_batch, shim_join}) {
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), sync_batch.message());
+  }
+
+  // Negative fields defer to the spec's (valid) defaults; explicit
+  // num_threads = 0 means hardware concurrency. Both succeed everywhere.
+  for (RunOptions ok_options :
+       {RunOptions{-1, -7}, RunOptions{0, -1}, RunOptions{2, 5}}) {
+    EXPECT_TRUE(session.SearchBatch(queries, ok_options).ok());
+    EXPECT_TRUE(session.SelfJoin(ok_options).ok());
+    EXPECT_TRUE(session.SubmitBatch(queries, ok_options).Get().ok());
+    EXPECT_TRUE(session.SubmitSelfJoin(ok_options).Get().ok());
+  }
+}
+
+// The session surface must produce exactly what the (deprecated) Db shims
+// produce — they are the same helper, cursor machinery, and executor.
+TEST(SessionTest, SessionMatchesDbShims) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  auto db = Db::Open(spec, Dataset(MakeStrings(200, 31)));
+  ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
+  EXPECT_EQ(session.num_records(), db->num_records());
+  EXPECT_EQ(session.spec().chain_length, db->spec().chain_length);
+
+  std::vector<Query> queries;
+  for (int id = 0; id < 20; ++id) {
+    queries.push_back(std::move(session.RecordQuery(id)).value());
+  }
+  auto shim_batch = db->SearchBatch(queries);
+  auto session_batch = session.SearchBatch(queries);
+  ASSERT_TRUE(shim_batch.ok() && session_batch.ok());
+  EXPECT_EQ(session_batch->ids, shim_batch->ids);
+  ExpectSameCounters(session_batch->stats, shim_batch->stats);
+
+  auto shim_single = db->Search(queries.front());
+  auto session_single = session.Search(queries.front());
+  ASSERT_TRUE(shim_single.ok() && session_single.ok());
+  EXPECT_EQ(session_single->ids, shim_single->ids);
+
+  auto shim_join = db->SelfJoin();
+  auto session_join = session.SelfJoin();
+  ASSERT_TRUE(shim_join.ok() && session_join.ok());
+  EXPECT_EQ(session_join->pairs, shim_join->pairs);
+  EXPECT_EQ(session_join->stats.candidates, shim_join->stats.candidates);
+}
+
+TEST(SessionTest, WallClockIsPopulated) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 6;
+  spec.chain_length = 2;
+  auto db = Db::Open(spec, Dataset(MakeVectors(200, 64, 37)));
+  ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
+  std::vector<Query> queries;
+  for (int id = 0; id < 50; ++id) {
+    queries.push_back(std::move(session.RecordQuery(id)).value());
+  }
+  auto batch = session.SearchBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  // Wall clock is a real measurement of the whole call, not the summed
+  // per-query fields (those can legitimately exceed it under threading).
+  EXPECT_GT(batch->wall_millis, 0.0);
+  auto join = session.SelfJoin();
+  ASSERT_TRUE(join.ok());
+  EXPECT_GT(join->wall_millis, 0.0);
+  EXPECT_GE(join->wall_millis, join->stats.total_millis * 0.5);
+}
+
+TEST(SessionTest, SessionIsMovable) {
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 6;
+  auto db = Db::Open(spec, Dataset(MakeVectors(100, 64, 41)));
+  ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
+  auto query = session.RecordQuery(3);
+  ASSERT_TRUE(query.ok());
+  const auto before = std::move(session.Search(*query)).value().ids;
+  Session moved = std::move(session);
+  EXPECT_EQ(moved.num_records(), 100);
+  EXPECT_EQ(std::move(moved.Search(*query)).value().ids, before);
 }
 
 TEST(DbTest, OpensFromDatasetFile) {

@@ -1,0 +1,27 @@
+// Shared helpers for the api-layer test suites (api_test,
+// api_concurrency_test), so determinism assertions stay in lockstep when
+// engine::QueryStats grows a counter.
+
+#ifndef PIGEONRING_TESTS_API_TEST_UTIL_H_
+#define PIGEONRING_TESTS_API_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "engine/query_stats.h"
+
+namespace pigeonring::api {
+
+// Deterministic counters only — wall clock is never comparable.
+inline void ExpectSameCounters(const engine::QueryStats& a,
+                               const engine::QueryStats& b) {
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.candidates_stage2, b.candidates_stage2);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.index_hits, b.index_hits);
+  EXPECT_EQ(a.chain_checks, b.chain_checks);
+  EXPECT_EQ(a.subiso_tests, b.subiso_tests);
+}
+
+}  // namespace pigeonring::api
+
+#endif  // PIGEONRING_TESTS_API_TEST_UTIL_H_

@@ -5,8 +5,13 @@
 #            pigeonhole baseline for contrast)
 #   join determinism — the hamming join with --threads 1 and --threads 2
 #          in --stats kv mode must print identical pairs and counters
-#          (only the stat.millis / stat.threads lines may differ)
-# All commands run through the api::Db facade the CLI is built on.
+#          (only timing / thread-count lines may differ)
+#   client determinism — the same search and join driven by --clients 3
+#          (three concurrent Sessions over one shared Db) must print
+#          exactly the single-client counters and results; the CLI itself
+#          additionally exits 1 if any client diverges
+# All commands run through the api::Db + api::Session facade the CLI is
+# built on.
 # Invoked as:
 #   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
 
@@ -35,10 +40,13 @@ function(run_cli)
   set(last_output "${out}" PARENT_SCOPE)
 endfunction()
 
-# Drops the lines that legitimately differ between thread counts (wall time
-# and the echoed thread count), keeping pairs and deterministic counters.
+# Drops the lines that legitimately differ between thread / client counts
+# (wall time and the echoed counts), keeping pairs and deterministic
+# counters.
 function(strip_nondeterministic text out_var)
-  string(REGEX REPLACE "stat\\.(millis|threads)=[^\n]*\n?" "" text "${text}")
+  string(REGEX REPLACE
+    "stat\\.(millis|wall_millis|threads|clients|served_queries)=[^\n]*\n?"
+    "" text "${text}")
   set(${out_var} "${text}" PARENT_SCOPE)
 endfunction()
 
@@ -79,3 +87,26 @@ if(NOT sequential_join STREQUAL parallel_join)
     "parallel join diverged from sequential\n--threads 1:\n${sequential_join}\n--threads 2:\n${parallel_join}")
 endif()
 message(STATUS "join --threads 2 matches --threads 1 exactly")
+
+# Concurrent-clients determinism: three Sessions sharing one Db must
+# reproduce the single-client counters and results exactly, for both the
+# search and join commands (the CLI exits 1 itself on any divergence).
+run_cli(search hamming --data "${dataset}" --tau 8 --chain 4 --queries 10
+        --clients 1 --stats kv)
+strip_nondeterministic("${last_output}" one_client_search)
+run_cli(search hamming --data "${dataset}" --tau 8 --chain 4 --queries 10
+        --clients 3 --stats kv)
+strip_nondeterministic("${last_output}" three_client_search)
+if(NOT one_client_search STREQUAL three_client_search)
+  message(FATAL_ERROR
+    "concurrent-client search diverged\n--clients 1:\n${one_client_search}\n--clients 3:\n${three_client_search}")
+endif()
+
+run_cli(join hamming --data "${dataset}" --tau 4 --chain 2
+        --clients 3 --stats kv --print 1000000)
+strip_nondeterministic("${last_output}" client_join)
+if(NOT sequential_join STREQUAL client_join)
+  message(FATAL_ERROR
+    "concurrent-client join diverged from sequential\nsequential:\n${sequential_join}\n--clients 3:\n${client_join}")
+endif()
+message(STATUS "search/join --clients 3 matches --clients 1 exactly")

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -247,6 +250,117 @@ TEST(ThreadPoolTest, ReusableAcrossLoops) {
     });
     EXPECT_EQ(sum.load(), 99 * 100 / 2);
   }
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  pool.EnsureThreads(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.EnsureThreads(2);  // never shrinks
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 5, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, MaxThreadsCapsTheLoopWidth) {
+  ThreadPool pool(6);
+  constexpr int kWidth = 2;
+  std::atomic<bool> bad_thread{false};
+  std::vector<std::atomic<int>> counts(500);
+  pool.ParallelFor(500, 3, kWidth, [&](int thread, int64_t begin,
+                                       int64_t end) {
+    if (thread < 0 || thread >= kWidth) bad_thread = true;
+    for (int64_t i = begin; i < end; ++i) counts[i]++;
+  });
+  EXPECT_FALSE(bad_thread) << "thread index escaped the width cap";
+  for (int i = 0; i < 500; ++i) ASSERT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerializeCorrectly) {
+  // One shared pool, several caller threads each running many loops: every
+  // loop must still cover exactly its own range (the service pattern —
+  // sessions share one executor).
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kLoops = 25;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<int64_t>> sums(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int loop = 0; loop < kLoops; ++loop) {
+        std::atomic<int64_t> sum{0};
+        pool.ParallelFor(200, 7, [&](int, int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) sum += i;
+        });
+        if (sum.load() != 199 * 200 / 2) sums[c] = -1;
+      }
+      if (sums[c].load() != -1) sums[c] = 199 * 200 / 2;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), 199 * 200 / 2) << "caller " << c;
+  }
+}
+
+TEST(ExecutorTest, SubmitRunsEveryJobAndFuturesResolve) {
+  std::vector<std::future<int>> futures;
+  std::atomic<int> ran{0};
+  {
+    Executor executor(2);
+    for (int i = 0; i < 16; ++i) {
+      auto promise = std::make_shared<std::promise<int>>();
+      futures.push_back(promise->get_future());
+      executor.Submit([promise, &ran, i] {
+        ++ran;
+        promise->set_value(i * i);
+      });
+    }
+    // Harvest in reverse: completion order must not matter.
+    for (int i = 15; i >= 0; --i) {
+      EXPECT_EQ(futures[i].get(), i * i);
+    }
+  }  // the destructor drains anything still queued
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ExecutorTest, ContextGrowsThePoolOnDemand) {
+  Executor executor(1);
+  EXPECT_EQ(executor.num_threads(), 1);
+  ExecutionOptions options;
+  options.num_threads = 3;
+  ExecutionContext context(executor, options);
+  EXPECT_EQ(context.num_threads(), 3);
+  EXPECT_EQ(executor.num_threads(), 3);
+  // A narrower follow-up call keeps the grown pool but a narrow loop.
+  options.num_threads = 2;
+  ExecutionContext narrow(executor, options);
+  EXPECT_EQ(narrow.num_threads(), 2);
+  EXPECT_EQ(executor.num_threads(), 3);
+}
+
+TEST(ExecutorTest, DriversReuseThePersistentExecutorAcrossCalls) {
+  const auto objects = MakeVectors(200, 57);
+  HammingAdapter adapter(hamming::HammingSearcher(objects), 8, 3);
+  std::vector<BitVector> queries(objects.begin(), objects.begin() + 30);
+
+  const auto expected = SearchBatch(adapter, queries);
+  Executor executor(2);
+  ExecutionOptions options;
+  options.num_threads = 2;
+  options.chunk = 4;
+  for (int call = 0; call < 5; ++call) {
+    ExecutionContext context(executor, options);
+    EXPECT_EQ(SearchBatch(adapter, queries, context), expected);
+  }
+  EXPECT_EQ(executor.num_threads(), 2) << "no pool rebuild between calls";
+  ExecutionContext context(executor, options);
+  EXPECT_EQ(SelfJoin(adapter, context),
+            SelfJoin(adapter, ExecutionOptions{}));
 }
 
 }  // namespace

@@ -6,19 +6,27 @@
 //       [--n N] [--seed S] [--dim D] [--bias B] [--avg A]
 //   pigeonring_cli search <hamming|sets|strings|graphs> --data FILE
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
-//       [--kappa K] [--alloc uniform|costmodel] [--threads N] [--stats kv]
+//       [--kappa K] [--alloc uniform|costmodel] [--threads N]
+//       [--clients N] [--stats kv]
 //   pigeonring_cli join <hamming|sets|strings|graphs> --data FILE
 //       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
-//       [--alloc uniform|costmodel] [--threads N] [--stats kv] [--print N]
+//       [--alloc uniform|costmodel] [--threads N] [--clients N]
+//       [--stats kv] [--print N]
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
 // --chain 1 every command runs the pigeonhole baseline; larger values
 // enable the pigeonring filter. Both commands build an api::IndexSpec from
-// the flags and run through api::Db — the same facade library users get:
-// --threads N shards the batch over N threads (results are identical to
-// --threads 1), and --stats kv replaces the human-readable summary with
-// machine-readable key=value lines.
+// the flags and run through api::Db + api::Session — the same facade
+// library users get: --threads N shards each call over N threads,
+// --clients N runs the workload from N concurrent client threads (one
+// Session each) over one shared Db and verifies their results are
+// byte-identical (exit 1 otherwise) — results never depend on either
+// flag. --stats kv replaces the human-readable summary with
+// machine-readable key=value lines; stat.millis sums per-query times,
+// stat.wall_millis is true wall clock over ALL clients' requests (for
+// search, stat.served_queries / stat.wall_millis is the throughput —
+// with N clients the wall covers N executions of the batch).
 //
 // Flag parsing is strict: unknown flags, flags that do not apply to the
 // given command/domain, and --stats values other than kv are rejected with
@@ -28,14 +36,19 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/db.h"
 #include "common/random.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
@@ -58,12 +71,13 @@ void Usage() {
       "                        --tau T [--chain L] [--queries N] [--seed S]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--alloc uniform|costmodel]\n"
-      "                        [--threads N] [--stats kv]\n"
+      "                        [--threads N] [--clients N] [--stats kv]\n"
       "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
       "                        --tau T [--chain L]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--alloc uniform|costmodel]\n"
-      "                        [--threads N] [--stats kv] [--print N]\n");
+      "                        [--threads N] [--clients N] [--stats kv]\n"
+      "                        [--print N]\n");
   std::exit(2);
 }
 
@@ -179,8 +193,8 @@ std::set<std::string> AllowedFlags(const std::string& command,
     }
     return allowed;
   }
-  std::set<std::string> allowed = {"data", "tau",     "chain",
-                                   "seed", "threads", "stats"};
+  std::set<std::string> allowed = {"data",    "tau",     "chain", "seed",
+                                   "threads", "clients", "stats"};
   if (command == "search") allowed.insert("queries");
   if (command == "join") allowed.insert("print");
   if (kind == "hamming") allowed.insert("alloc");
@@ -281,13 +295,60 @@ api::IndexSpec SpecFromFlags(const std::string& kind, const Flags& flags,
   return spec;
 }
 
+/// Runs `work` (one client's whole workload, through its own Session) from
+/// `clients` concurrent threads over the shared `db`. Every client must
+/// succeed and `same` must hold between client 0's result and every
+/// other's — concurrent sessions are contractually byte-identical, so a
+/// divergence is a library bug and exits 1. Returns client 0's result and
+/// stores the wall-clock time of the whole fan-out in `wall_millis`.
+template <typename Result>
+Result RunClients(const api::Db& db, int clients,
+                  const std::function<StatusOr<Result>(api::Session&)>& work,
+                  const std::function<bool(const Result&, const Result&)>& same,
+                  double* wall_millis) {
+  StopWatch watch;
+  std::vector<std::optional<StatusOr<Result>>> outs(clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&db, &work, &outs, c] {
+        api::Session session = db.NewSession();
+        outs[c].emplace(work(session));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  *wall_millis = watch.ElapsedMillis();
+  Result first = Unwrap(std::move(*outs[0]));
+  for (int c = 1; c < clients; ++c) {
+    const Result other = Unwrap(std::move(*outs[c]));
+    if (!same(first, other)) {
+      std::fprintf(stderr, "error: client %d diverged from client 0\n", c);
+      std::exit(1);
+    }
+  }
+  return first;
+}
+
+/// Parses --clients (>= 1; anything else is a usage error).
+int ClientCount(const Flags& flags) {
+  const int clients = static_cast<int>(flags.GetInt("clients", 1));
+  if (clients < 1) {
+    std::fprintf(stderr, "--clients expects a count >= 1, got %d\n", clients);
+    std::exit(2);
+  }
+  return clients;
+}
+
 int RunSearch(const std::string& kind, const Flags& flags) {
   const int num_queries = static_cast<int>(flags.GetInt("queries", 100));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool stats_kv = StatsKv(flags);
+  const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 1);
 
-  api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
   if (db.num_records() == 0) {
     std::fprintf(stderr, "empty dataset\n");
     return 1;
@@ -296,7 +357,16 @@ int RunSearch(const std::string& kind, const Flags& flags) {
   for (int id : SampleQueryIds(num_queries, db.num_records(), seed)) {
     queries.push_back(Unwrap(db.RecordQuery(id)));
   }
-  const api::BatchResult batch = Unwrap(db.SearchBatch(queries));
+  double wall_millis = 0;
+  const api::BatchResult batch = RunClients<api::BatchResult>(
+      db, clients,
+      [&queries](api::Session& session) {
+        return session.SearchBatch(queries);
+      },
+      [](const api::BatchResult& a, const api::BatchResult& b) {
+        return a.ids == b.ids;
+      },
+      &wall_millis);
   const engine::QueryStats& totals = batch.stats;
   const int executed = static_cast<int>(queries.size());
 
@@ -304,24 +374,33 @@ int RunSearch(const std::string& kind, const Flags& flags) {
     std::printf("stat.command=search\n");
     std::printf("stat.kind=%s\n", kind.c_str());
     std::printf("stat.threads=%d\n", spec.num_threads);
+    std::printf("stat.clients=%d\n", clients);
     std::printf("stat.kernel_isa=%s\n",
                 kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.queries=%d\n", executed);
+    // Every client runs the whole batch, so the wall clock below covers
+    // served_queries = clients * queries — the matching numerator for
+    // throughput math.
+    std::printf("stat.served_queries=%d\n", executed * clients);
     std::printf("stat.candidates=%lld\n",
                 static_cast<long long>(totals.candidates));
     std::printf("stat.results=%lld\n",
                 static_cast<long long>(totals.results));
     std::printf("stat.millis=%.4f\n", totals.total_millis);
+    std::printf("stat.wall_millis=%.4f\n", wall_millis);
   } else {
     Table table("search " + kind + " tau=" + flags.Require("tau") +
                     " chain=" + Table::Int(spec.chain_length) +
-                    " threads=" + Table::Int(spec.num_threads),
-                {"queries", "avg candidates", "avg results", "avg time (ms)"});
+                    " threads=" + Table::Int(spec.num_threads) +
+                    " clients=" + Table::Int(clients),
+                {"queries", "avg candidates", "avg results", "avg time (ms)",
+                 "wall (ms)"});
     table.AddRow(
         {Table::Int(executed),
          Table::Num(static_cast<double>(totals.candidates) / executed, 1),
          Table::Num(static_cast<double>(totals.results) / executed, 1),
-         Table::Num(totals.total_millis / executed, 4)});
+         Table::Num(totals.total_millis / executed, 4),
+         Table::Num(wall_millis, 1)});
     table.Print();
   }
   return 0;
@@ -329,10 +408,19 @@ int RunSearch(const std::string& kind, const Flags& flags) {
 
 int RunJoin(const std::string& kind, const Flags& flags) {
   const bool stats_kv = StatsKv(flags);
+  const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 2);
 
-  api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
-  const api::JoinResult join = Unwrap(db.SelfJoin());
+  const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  double wall_millis = 0;
+  const api::JoinResult join = RunClients<api::JoinResult>(
+      db, clients,
+      [](api::Session& session) { return session.SelfJoin(); },
+      [](const api::JoinResult& a, const api::JoinResult& b) {
+        return a.pairs == b.pairs &&
+               a.stats.candidates == b.stats.candidates;
+      },
+      &wall_millis);
   const engine::JoinStats& stats = join.stats;
   const std::vector<api::IdPair>& pairs = join.pairs;
 
@@ -340,17 +428,20 @@ int RunJoin(const std::string& kind, const Flags& flags) {
     std::printf("stat.command=join\n");
     std::printf("stat.kind=%s\n", kind.c_str());
     std::printf("stat.threads=%d\n", spec.num_threads);
+    std::printf("stat.clients=%d\n", clients);
     std::printf("stat.kernel_isa=%s\n",
                 kernels::IsaName(kernels::ActiveIsa()));
     std::printf("stat.pairs=%lld\n", static_cast<long long>(stats.pairs));
     std::printf("stat.candidates=%lld\n",
                 static_cast<long long>(stats.candidates));
     std::printf("stat.millis=%.4f\n", stats.total_millis);
+    std::printf("stat.wall_millis=%.4f\n", wall_millis);
   } else {
-    std::printf("pairs: %lld (candidates: %lld, threads: %d, %.1f ms)\n",
-                static_cast<long long>(stats.pairs),
-                static_cast<long long>(stats.candidates), spec.num_threads,
-                stats.total_millis);
+    std::printf(
+        "pairs: %lld (candidates: %lld, threads: %d, clients: %d, %.1f ms)\n",
+        static_cast<long long>(stats.pairs),
+        static_cast<long long>(stats.candidates), spec.num_threads, clients,
+        wall_millis);
   }
   const int limit = static_cast<int>(flags.GetInt("print", 20));
   for (int i = 0; i < std::min<int>(limit, pairs.size()); ++i) {
