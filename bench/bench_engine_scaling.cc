@@ -13,13 +13,19 @@
 // reporting aggregate throughput and client-side p50/p99 latency; every
 // client's results must be byte-identical to the sequential reference at
 // every client count (acceptance bar: multi-client throughput >= the
-// single-client row). `--json FILE` additionally dumps the timings
+// single-client row). The storage panel prices the persistent index
+// format in every domain: index build from raw records vs Db::Save
+// (serialization throughput) vs Db::OpenIndex (open latency — the cold
+// start a served index avoids), and requires the loaded snapshot's
+// self-join to be byte-identical to the built one before any number is
+// reported. `--json FILE` additionally dumps the timings
 // machine-readably; BENCH_engine.json at the repo root is a committed
 // baseline produced this way (see docs/BENCHMARKS.md for the protocol).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -416,10 +422,160 @@ ClientsPanel RunClientsPanel() {
   return panel;
 }
 
+// Storage panel: the persistent index format, priced per domain. Each row
+// builds an index from raw records (the cold path a saved index replaces),
+// saves it (serialization throughput), and re-opens it (open latency: file
+// read + checksum verification + bulk adoption of every section — nothing
+// is re-derived). Before any number is reported the loaded snapshot must
+// reproduce the built one's self-join byte-for-byte; a divergence is a
+// correctness bug in the format, not a measurement artifact, and aborts.
+struct StorageRow {
+  std::string name;
+  int records = 0;
+  double build_millis = 0;
+  double save_millis = 0;
+  double open_millis = 0;
+  double file_mb = 0;
+  int64_t pairs = 0;
+};
+
+StorageRow MeasureStorage(const std::string& name, const api::IndexSpec& spec,
+                          api::Dataset dataset) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / ("pigeonring_bench_" + name + ".pgri"))
+          .string();
+  StorageRow row;
+  row.name = name;
+
+  StopWatch watch;
+  api::Db built = bench::BenchUnwrap(api::Db::Open(spec, std::move(dataset)),
+                                     ("build " + name).c_str());
+  row.build_millis = watch.ElapsedMillis();
+  row.records = built.num_records();
+
+  watch.Restart();
+  const Status saved = built.Save(path);
+  row.save_millis = watch.ElapsedMillis();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FATAL: save %s: %s\n", name.c_str(),
+                 saved.ToString().c_str());
+    std::exit(1);
+  }
+  row.file_mb = static_cast<double>(fs::file_size(path)) / (1024.0 * 1024.0);
+
+  watch.Restart();
+  api::Db loaded = bench::BenchUnwrap(api::Db::OpenIndex(spec, path),
+                                      ("open " + name).c_str());
+  row.open_millis = watch.ElapsedMillis();
+
+  api::Session built_session = built.NewSession();
+  api::Session loaded_session = loaded.NewSession();
+  const api::JoinResult built_join =
+      bench::BenchUnwrap(built_session.SelfJoin(), "built join");
+  const api::JoinResult loaded_join =
+      bench::BenchUnwrap(loaded_session.SelfJoin(), "loaded join");
+  if (loaded_join.pairs != built_join.pairs ||
+      loaded_join.stats.candidates != built_join.stats.candidates) {
+    std::fprintf(stderr,
+                 "FATAL: %s loaded snapshot diverged from the built one\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  row.pairs = built_join.stats.pairs;
+  fs::remove(path);
+  return row;
+}
+
+std::vector<StorageRow> RunStoragePanel() {
+  std::vector<StorageRow> rows;
+  {
+    datagen::BinaryVectorConfig config;
+    config.dimensions = 128;
+    config.num_objects = bench::Scaled(20000);
+    config.num_clusters = bench::Scaled(500);
+    config.cluster_fraction = 0.5;
+    config.flip_rate = 0.05;
+    config.bit_bias = 0.3;
+    config.seed = 9001;
+    api::IndexSpec spec;
+    spec.domain = api::Domain::kHamming;
+    spec.tau = 8;
+    spec.chain_length = 4;
+    rows.push_back(MeasureStorage(
+        "hamming", spec,
+        api::Dataset(datagen::GenerateBinaryVectors(config))));
+  }
+  {
+    datagen::TokenSetConfig config;
+    config.num_records = bench::Scaled(20000);
+    config.avg_tokens = 14;
+    config.universe_size = bench::Scaled(20000);
+    config.duplicate_fraction = 0.35;
+    config.seed = 9002;
+    api::IndexSpec spec;
+    spec.domain = api::Domain::kSet;
+    spec.tau = 0.8;
+    spec.chain_length = 2;
+    rows.push_back(MeasureStorage(
+        "sets", spec, api::Dataset(datagen::GenerateTokenSets(config))));
+  }
+  {
+    datagen::StringConfig config;
+    config.num_records = bench::Scaled(20000);
+    config.avg_length = 16;
+    config.duplicate_fraction = 0.35;
+    config.max_perturb_edits = 2;
+    config.seed = 9003;
+    api::IndexSpec spec;
+    spec.domain = api::Domain::kEdit;
+    spec.tau = 2;
+    spec.chain_length = 3;
+    rows.push_back(MeasureStorage(
+        "strings", spec, api::Dataset(datagen::GenerateStrings(config))));
+  }
+  {
+    datagen::GraphConfig config;
+    config.num_graphs = bench::Scaled(800);
+    config.avg_vertices = 10;
+    config.avg_edges = 11;
+    config.vertex_labels = 20;
+    config.edge_labels = 3;
+    config.duplicate_fraction = 0.4;
+    config.max_perturb_ops = 2;
+    config.seed = 9004;
+    api::IndexSpec spec;
+    spec.domain = api::Domain::kGraph;
+    spec.tau = 2;
+    spec.chain_length = 2;
+    rows.push_back(MeasureStorage(
+        "graphs", spec, api::Dataset(datagen::GenerateGraphs(config))));
+  }
+
+  Table out("storage panel: build vs save vs open "
+            "(loaded snapshot verified byte-identical before timing counts)",
+            {"domain", "records", "build (ms)", "save (ms)", "file (MB)",
+             "save MB/s", "open (ms)", "open vs rebuild"});
+  for (const StorageRow& row : rows) {
+    out.AddRow(
+        {row.name, Table::Int(row.records), Table::Num(row.build_millis, 1),
+         Table::Num(row.save_millis, 1), Table::Num(row.file_mb, 2),
+         Table::Num(row.file_mb / std::max(1e-9, row.save_millis) * 1000.0,
+                    1),
+         Table::Num(row.open_millis, 1),
+         Table::Num(row.build_millis / std::max(1e-9, row.open_millis), 1) +
+             "x"});
+  }
+  out.Print();
+  std::printf("\n");
+  return rows;
+}
+
 void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
                const KernelPanel& kernel, const FacadePanel& facade,
-               const ClientsPanel& clients) {
+               const ClientsPanel& clients,
+               const std::vector<StorageRow>& storage) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -455,6 +611,18 @@ void WriteJson(const std::string& path,
                  row.p50_millis, row.p99_millis);
   }
   std::fprintf(f, "]},\n");
+  std::fprintf(f, "  \"storage_panel\": [");
+  for (size_t i = 0; i < storage.size(); ++i) {
+    const StorageRow& row = storage[i];
+    std::fprintf(f,
+                 "%s{\"name\": \"%s\", \"records\": %d, \"build_millis\": "
+                 "%.3f, \"save_millis\": %.3f, \"open_millis\": %.3f, "
+                 "\"file_mb\": %.3f, \"pairs\": %lld}",
+                 i == 0 ? "" : ", ", row.name.c_str(), row.records,
+                 row.build_millis, row.save_millis, row.open_millis,
+                 row.file_mb, static_cast<long long>(row.pairs));
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"domains\": [\n");
   for (size_t d = 0; d < results.size(); ++d) {
     const DomainResult& r = results[d];
@@ -490,8 +658,9 @@ int main(int argc, char** argv) {
   const KernelPanel kernel = RunKernelPanel();
   const FacadePanel facade = RunFacadePanel();
   const ClientsPanel clients = RunClientsPanel();
+  const std::vector<StorageRow> storage = RunStoragePanel();
   if (!json_path.empty()) {
-    WriteJson(json_path, results, kernel, facade, clients);
+    WriteJson(json_path, results, kernel, facade, clients, storage);
   }
   return 0;
 }

@@ -9,6 +9,9 @@
 #include "hamming/search.h"
 #include "io/dataset_io.h"
 #include "setsim/pkwise.h"
+#include "storage/bytes.h"
+#include "storage/index_file.h"
+#include "storage/index_io.h"
 
 namespace pigeonring::api {
 
@@ -105,6 +108,10 @@ class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
     return std::get<BitVector>(query);
   }
 
+  void SaveSections(storage::IndexFileWriter& writer) const override {
+    storage::SaveHammingSections(adapter_.searcher(), writer);
+  }
+
  private:
   int dimensions_;
 };
@@ -132,6 +139,10 @@ class SetModel : public ModelBase<SetModel, engine::SetAdapter> {
     return collection_->MapQuery(set_query.tokens);
   }
 
+  void SaveSections(storage::IndexFileWriter& writer) const override {
+    storage::SaveSetSections(*collection_, adapter_.searcher(), writer);
+  }
+
  private:
   std::unique_ptr<setsim::SetCollection> collection_;
 };
@@ -157,6 +168,10 @@ class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
     return std::get<std::string>(query);
   }
 
+  void SaveSections(storage::IndexFileWriter& writer) const override {
+    storage::SaveEditSections(*data_, adapter_.searcher(), writer);
+  }
+
  private:
   std::unique_ptr<std::vector<std::string>> data_;
 };
@@ -180,6 +195,10 @@ class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
 
   const graphed::Graph& ToDomain(const Query& query) const {
     return std::get<graphed::Graph>(query);
+  }
+
+  void SaveSections(storage::IndexFileWriter& writer) const override {
+    storage::SaveGraphSections(*data_, adapter_.searcher(), writer);
   }
 
  private:
@@ -292,6 +311,169 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildGraph(
       new GraphModel(std::move(data), std::move(adapter)));
 }
 
+// --- Persisted-index support ---
+//
+// The kSpec section stores the canonical build-relevant spec fields so a
+// mismatched open can name the exact disagreeing field instead of only
+// failing the header fingerprint check. Encoding: u32 domain, f64 tau,
+// i32 num_parts, u32 measure, i32 num_boxes, i32 kappa, u64 partition_seed.
+
+void AddSpecSection(const IndexSpec& spec, storage::IndexFileWriter& writer) {
+  storage::ByteWriter w;
+  w.U32(static_cast<uint32_t>(spec.domain));
+  w.F64(spec.tau);
+  w.I32(spec.num_parts);
+  w.U32(static_cast<uint32_t>(spec.measure));
+  w.I32(spec.num_boxes);
+  w.I32(spec.kappa);
+  w.U64(spec.partition_seed);
+  writer.AddSection(storage::SectionId::kSpec, std::move(w).Take());
+}
+
+Status SpecMismatch(const std::string& field, const std::string& built,
+                    const std::string& requested) {
+  return Status::FailedPrecondition(
+      "index was built with " + field + "=" + built +
+      " but the spec requests " + field + "=" + requested +
+      "; rebuild the index or adjust the spec");
+}
+
+/// Cross-checks the opening spec against the file's kSpec section,
+/// comparing only the fields that shaped the persisted structures.
+Status CheckSpecSection(const IndexSpec& spec,
+                        const storage::IndexFileReader& reader) {
+  auto section = reader.Section(storage::SectionId::kSpec);
+  if (!section.ok()) return section.status();
+  storage::ByteReader r = *section;
+  const uint32_t domain = r.U32();
+  const double tau = r.F64();
+  const int num_parts = r.I32();
+  const uint32_t measure = r.U32();
+  const int num_boxes = r.I32();
+  const int kappa = r.I32();
+  const uint64_t partition_seed = r.U64();
+  if (!r.AtEnd()) {
+    return Status::DataLoss("index section 1 corrupt: malformed spec");
+  }
+  if (domain != static_cast<uint32_t>(spec.domain)) {
+    return SpecMismatch("domain",
+                        DomainName(static_cast<Domain>(domain)),
+                        DomainName(spec.domain));
+  }
+  if (tau != spec.tau) {
+    return SpecMismatch("tau", std::to_string(tau),
+                        std::to_string(spec.tau));
+  }
+  switch (spec.domain) {
+    case Domain::kHamming:
+      if (num_parts != spec.num_parts) {
+        return SpecMismatch("num_parts", std::to_string(num_parts),
+                            std::to_string(spec.num_parts));
+      }
+      break;
+    case Domain::kSet:
+      if (measure != static_cast<uint32_t>(spec.measure)) {
+        return SpecMismatch("measure",
+                            measure == 0 ? "jaccard" : "overlap",
+                            spec.measure == setsim::SetMeasure::kJaccard
+                                ? "jaccard"
+                                : "overlap");
+      }
+      if (num_boxes != spec.num_boxes) {
+        return SpecMismatch("num_boxes", std::to_string(num_boxes),
+                            std::to_string(spec.num_boxes));
+      }
+      break;
+    case Domain::kEdit:
+      if (kappa != spec.kappa) {
+        return SpecMismatch("kappa", std::to_string(kappa),
+                            std::to_string(spec.kappa));
+      }
+      break;
+    case Domain::kGraph:
+      if (partition_seed != spec.partition_seed) {
+        return SpecMismatch("partition_seed",
+                            std::to_string(partition_seed),
+                            std::to_string(spec.partition_seed));
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<const AnySearcher>> LoadHamming(
+    const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  auto loaded = storage::LoadHammingSections(reader);
+  if (!loaded.ok()) return loaded.status();
+  const int dimensions =
+      loaded->objects.empty() ? 0 : loaded->objects.front().dimensions();
+  const int num_parts = loaded->index->partition().num_parts();
+  // The same dataset-dependent check the build path runs: the partition
+  // count only becomes known here.
+  if (!loaded->objects.empty() && spec.chain_length > num_parts) {
+    return Status::InvalidArgument(
+        "chain_length=" + std::to_string(spec.chain_length) +
+        " exceeds the " + std::to_string(num_parts) +
+        " partitions of the saved index");
+  }
+  const int chain = RingEnabled(spec) ? spec.chain_length : 1;
+  engine::HammingAdapter adapter(
+      hamming::HammingSearcher::FromBuilt(std::move(loaded->objects),
+                                          std::move(loaded->index)),
+      static_cast<int>(spec.tau), chain, spec.allocation);
+  return std::unique_ptr<const AnySearcher>(
+      new HammingModel(std::move(adapter), dimensions));
+}
+
+StatusOr<std::unique_ptr<const AnySearcher>> LoadSet(
+    const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  auto loaded = storage::LoadSetSections(reader, spec.num_boxes);
+  if (!loaded.ok()) return loaded.status();
+  setsim::PkwiseSearcher searcher = setsim::PkwiseSearcher::FromBuilt(
+      loaded->collection.get(), spec.tau, spec.num_boxes, spec.measure,
+      std::move(loaded->index));
+  const int chain = RingEnabled(spec) ? spec.chain_length : 1;
+  engine::SetAdapter adapter(std::move(searcher), loaded->collection.get(),
+                             chain);
+  return std::unique_ptr<const AnySearcher>(
+      new SetModel(std::move(loaded->collection), std::move(adapter)));
+}
+
+StatusOr<std::unique_ptr<const AnySearcher>> LoadEdit(
+    const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  auto loaded = storage::LoadEditSections(reader, static_cast<int>(spec.tau),
+                                          spec.kappa);
+  if (!loaded.ok()) return loaded.status();
+  editdist::EditDistanceSearcher searcher =
+      editdist::EditDistanceSearcher::FromBuilt(
+          loaded->data.get(), static_cast<int>(spec.tau), spec.kappa,
+          std::move(loaded->index));
+  const editdist::EditFilter filter = RingEnabled(spec)
+                                          ? editdist::EditFilter::kRing
+                                          : editdist::EditFilter::kPivotal;
+  engine::EditAdapter adapter(std::move(searcher), loaded->data.get(),
+                              filter, spec.chain_length);
+  return std::unique_ptr<const AnySearcher>(
+      new EditModel(std::move(loaded->data), std::move(adapter)));
+}
+
+StatusOr<std::unique_ptr<const AnySearcher>> LoadGraph(
+    const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  auto loaded =
+      storage::LoadGraphSections(reader, static_cast<int>(spec.tau));
+  if (!loaded.ok()) return loaded.status();
+  graphed::GraphSearcher searcher = graphed::GraphSearcher::FromBuilt(
+      loaded->data.get(), static_cast<int>(spec.tau),
+      std::move(loaded->state));
+  const graphed::GraphFilter filter = RingEnabled(spec)
+                                          ? graphed::GraphFilter::kRing
+                                          : graphed::GraphFilter::kPars;
+  engine::GraphAdapter adapter(std::move(searcher), loaded->data.get(),
+                               filter, spec.chain_length);
+  return std::unique_ptr<const AnySearcher>(
+      new GraphModel(std::move(loaded->data), std::move(adapter)));
+}
+
 }  // namespace
 }  // namespace internal
 
@@ -355,6 +537,11 @@ StatusOr<Db> Db::Open(const IndexSpec& spec,
   // errors, and load in the domain's format.
   Status valid = spec.Validate();
   if (!valid.ok()) return valid;
+  // A persisted index announces itself by its magic; everything else goes
+  // through the raw dataset loaders.
+  if (storage::LooksLikeIndexFile(dataset_path)) {
+    return OpenIndex(spec, dataset_path);
+  }
   switch (spec.domain) {
     case Domain::kHamming: {
       auto loaded = io::LoadBitVectors(dataset_path);
@@ -377,6 +564,60 @@ StatusOr<Db> Db::Open(const IndexSpec& spec,
   auto loaded = io::LoadGraphs(dataset_path);
   if (!loaded.ok()) return loaded.status();
   return Open(spec, Dataset(std::move(loaded).value()));
+}
+
+StatusOr<Db> Db::OpenIndex(const IndexSpec& spec,
+                           const std::string& index_path) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  auto reader = storage::IndexFileReader::Open(index_path);
+  if (!reader.ok()) return reader.status();
+  if (reader->domain() != static_cast<uint32_t>(spec.domain)) {
+    const uint32_t d = reader->domain();
+    return Status::FailedPrecondition(
+        "index file holds a " +
+        std::string(d <= 3 ? DomainName(static_cast<Domain>(d)) : "unknown") +
+        " index but the spec's domain is " + DomainName(spec.domain) +
+        "; rebuild the index or adjust the spec");
+  }
+  // The kSpec section names the exact disagreeing build field; the header
+  // fingerprint is the backstop (it also catches a spec section that was
+  // tampered into agreement).
+  Status spec_check = internal::CheckSpecSection(spec, *reader);
+  if (!spec_check.ok()) return spec_check;
+  if (reader->spec_fingerprint() != BuildFingerprint(spec)) {
+    return Status::FailedPrecondition(
+        "index file was built under a different spec (fingerprint "
+        "mismatch); rebuild the index");
+  }
+  StatusOr<std::unique_ptr<const internal::AnySearcher>> searcher = [&] {
+    switch (spec.domain) {
+      case Domain::kHamming:
+        return internal::LoadHamming(spec, *reader);
+      case Domain::kSet:
+        return internal::LoadSet(spec, *reader);
+      case Domain::kEdit:
+        return internal::LoadEdit(spec, *reader);
+      case Domain::kGraph:
+        break;
+    }
+    return internal::LoadGraph(spec, *reader);
+  }();
+  if (!searcher.ok()) return searcher.status();
+  auto state = std::make_shared<internal::DbState>();
+  state->spec = spec;
+  state->searcher =
+      std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
+  state->executor = std::make_unique<engine::Executor>(spec.num_threads);
+  return Db(std::shared_ptr<const internal::DbState>(std::move(state)));
+}
+
+Status Db::Save(const std::string& path) const {
+  storage::IndexFileWriter writer;
+  internal::AddSpecSection(state_->spec, writer);
+  state_->searcher->SaveSections(writer);
+  return writer.WriteTo(path, static_cast<uint32_t>(state_->spec.domain),
+                        BuildFingerprint(state_->spec));
 }
 
 const IndexSpec& Db::spec() const { return state_->spec; }

@@ -66,11 +66,31 @@ class Db {
   /// inconsistent record dimensionalities.
   static StatusOr<Db> Open(const IndexSpec& spec, Dataset dataset);
 
-  /// Loads the dataset at `dataset_path` in the spec's domain format
-  /// (io/dataset_io.h), then opens it. Load errors (missing file,
-  /// malformed content) surface as the loader's Status.
+  /// Opens from a file path. If the file starts with the index magic
+  /// (storage/index_file.h) it is loaded as a persisted index via
+  /// OpenIndex; otherwise it is loaded as a raw dataset in the spec's
+  /// domain format (io/dataset_io.h) and indexed from scratch. Load errors
+  /// (missing file, malformed content) surface as the loader's Status.
   static StatusOr<Db> Open(const IndexSpec& spec,
                            const std::string& dataset_path);
+
+  /// Opens a persisted index written by Save. The file must carry the same
+  /// format version, domain, and build fingerprint as `spec` (chain length,
+  /// filter mode, allocation, and threading may differ — they are
+  /// query-time knobs). Built state is bulk-loaded; nothing is re-derived,
+  /// and the loaded snapshot answers queries byte-identically to one built
+  /// from the raw dataset. Typed errors: kInvalidArgument (not an index
+  /// file), kDataLoss (checksum mismatch / truncation / corrupt section),
+  /// kFailedPrecondition (version or spec mismatch), kNotFound (unreadable
+  /// path).
+  static StatusOr<Db> OpenIndex(const IndexSpec& spec,
+                                const std::string& index_path);
+
+  /// Persists this snapshot's built state (collection + every derived index
+  /// structure) to `path` in the storage layer's container format,
+  /// replacing any existing file. Deterministic: saving the same snapshot
+  /// twice produces byte-identical files.
+  Status Save(const std::string& path) const;
 
   /// Copies are cheap handles on the same immutable snapshot.
   Db(const Db& other);

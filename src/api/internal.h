@@ -16,6 +16,10 @@
 #include "engine/executor.h"
 #include "engine/query_stats.h"
 
+namespace pigeonring::storage {
+class IndexFileWriter;
+}  // namespace pigeonring::storage
+
 namespace pigeonring::api::internal {
 
 /// Mutable per-caller probe state over one immutable snapshot — the erased
@@ -47,6 +51,11 @@ class AnySearcher {
   /// validated.
   virtual Status ValidateQuery(const Query& query) const = 0;
   virtual std::unique_ptr<AnyCursor> NewCursor() const = 0;
+  /// Serializes the snapshot's built state into typed sections of `writer`
+  /// (storage/index_io.h) — the Db::Save half of the persistent index
+  /// format. Deterministic: two calls on the same snapshot add
+  /// byte-identical sections.
+  virtual void SaveSections(storage::IndexFileWriter& writer) const = 0;
 };
 
 /// The shared range check behind Db::RecordQuery and Session::RecordQuery

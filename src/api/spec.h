@@ -102,6 +102,15 @@ struct IndexSpec {
   Status Validate() const;
 };
 
+/// FNV-1a hash over the *build-relevant* spec fields — the ones that shape
+/// the persisted index structures: domain, tau, and the domain's structural
+/// knobs (num_parts / measure + num_boxes / kappa / partition_seed).
+/// Query-time fields (chain_length, filter, allocation, threading) are
+/// deliberately excluded so an index saved under one serving configuration
+/// opens under any other. Stored in the index file header; Db::OpenIndex
+/// rejects a mismatch with kFailedPrecondition.
+uint64_t BuildFingerprint(const IndexSpec& spec);
+
 /// A query in exactly one domain representation. The set alternative
 /// carries raw token ids by default; Db maps them through the collection's
 /// frequency-rank dictionary. Queries returned by Db::RecordQuery are

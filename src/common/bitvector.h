@@ -37,6 +37,18 @@ class BitVector {
   /// dimension first is NOT assumed: character i maps to dimension i.
   static BitVector FromString(const std::string& bits);
 
+  /// Reassembles a vector from its word representation (the storage layer's
+  /// bulk-load path). `words` must hold exactly ceil(dimensions / 64) words;
+  /// callers validate that bits past `dimensions` are zero.
+  static BitVector FromWords(int dimensions, std::vector<uint64_t> words) {
+    PR_CHECK(dimensions >= 0 &&
+             static_cast<int>(words.size()) == (dimensions + 63) / 64);
+    BitVector v;
+    v.dimensions_ = dimensions;
+    v.words_ = std::move(words);
+    return v;
+  }
+
   int dimensions() const { return dimensions_; }
   int num_words() const { return static_cast<int>(words_.size()); }
   const std::vector<uint64_t>& words() const { return words_; }

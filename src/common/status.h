@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  kDataLoss,
 };
 
 /// A success-or-error result carrying a code and a human-readable message.
@@ -52,6 +53,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,8 @@ class Status {
         return "FailedPrecondition";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kDataLoss:
+        return "DataLoss";
     }
     return "Unknown";
   }

@@ -45,6 +45,28 @@ EditDistanceSearcher::EditDistanceSearcher(
   ruled_out_.assign(n, 0);
 }
 
+EditDistanceSearcher EditDistanceSearcher::FromBuilt(
+    const std::vector<std::string>* data, int tau, int kappa,
+    std::shared_ptr<const Index> index) {
+  PR_CHECK(data != nullptr);
+  PR_CHECK(tau >= 0);
+  PR_CHECK_MSG(tau + 1 <= 64, "ruled-out bitmask supports at most 64 boxes");
+  PR_CHECK(index != nullptr);
+  PR_CHECK(index->profiles.size() == data->size());
+  EditDistanceSearcher s(data, tau, kappa, std::move(index));
+  return s;
+}
+
+EditDistanceSearcher::EditDistanceSearcher(
+    const std::vector<std::string>* data, int tau, int kappa,
+    std::shared_ptr<const Index> index)
+    : data_(data), tau_(tau), kappa_(kappa), index_(std::move(index)) {
+  const int n = static_cast<int>(data_->size());
+  seen_epoch_.assign(n, 0);
+  decided_.assign(n, 0);
+  ruled_out_.assign(n, 0);
+}
+
 std::vector<uint64_t> EditDistanceSearcher::WindowMasks(
     const std::string& s) const {
   std::vector<uint64_t> masks(s.size());

@@ -64,22 +64,6 @@ struct EditSearchStats {
 /// clones and the api layer's per-session cursors rely on this.
 class EditDistanceSearcher {
  public:
-  /// Indexes `data` for threshold `tau` with gram length `kappa` (the
-  /// paper uses kappa in {2, 3} for short strings and up to 8 for long
-  /// ones).
-  EditDistanceSearcher(const std::vector<std::string>* data, int tau,
-                       int kappa);
-
-  int tau() const { return tau_; }
-  int num_boxes() const { return tau_ + 1; }
-
-  /// Finds ids of all strings with ed(x, query) <= tau. `chain_length` is
-  /// used only by EditFilter::kRing (clamped to [1, tau + 1]; the paper's
-  /// default is min(3, tau + 1)).
-  std::vector<int> Search(const std::string& query, EditFilter filter,
-                          int chain_length, EditSearchStats* stats = nullptr);
-
- private:
   struct PivotalPosting {
     int id;
     int pivotal_index;
@@ -89,6 +73,55 @@ class EditDistanceSearcher {
     int id;
     int position;
   };
+
+  /// The built gram machinery: dictionary, per-record profiles, padded
+  /// strings, window masks, and the pivotal / prefix / length indexes.
+  /// Immutable after construction, shared between searcher copies; exposed
+  /// so the storage layer can serialize and bulk-load it.
+  struct Index {
+    Index(const std::vector<std::string>& data, int kappa)
+        : dictionary(data, kappa) {}
+    /// Shell for the storage layer's bulk load: the dictionary is adopted
+    /// and every other field is filled in by the loader.
+    explicit Index(GramDictionary loaded_dictionary)
+        : dictionary(std::move(loaded_dictionary)) {}
+
+    GramDictionary dictionary;
+    std::vector<GramProfile> profiles;
+    std::vector<std::string> padded;                  // PadForGrams(record)
+    std::vector<std::vector<uint64_t>> window_masks;  // over padded records
+    std::unordered_map<int, std::vector<PivotalPosting>> pivotal_index;
+    std::unordered_map<int, std::vector<PrefixPosting>> prefix_index;
+    std::unordered_map<int, std::vector<int>> ids_by_length;
+    std::vector<int> short_ids;
+  };
+
+  /// Indexes `data` for threshold `tau` with gram length `kappa` (the
+  /// paper uses kappa in {2, 3} for short strings and up to 8 for long
+  /// ones).
+  EditDistanceSearcher(const std::vector<std::string>* data, int tau,
+                       int kappa);
+
+  /// Assembles a searcher around an already-built index (the storage
+  /// layer's bulk-load path) — no profiles or postings are re-derived.
+  /// `index` must describe exactly `data` under the same tau and kappa.
+  static EditDistanceSearcher FromBuilt(const std::vector<std::string>* data,
+                                        int tau, int kappa,
+                                        std::shared_ptr<const Index> index);
+
+  int tau() const { return tau_; }
+  int num_boxes() const { return tau_ + 1; }
+  const Index& index() const { return *index_; }
+
+  /// Finds ids of all strings with ed(x, query) <= tau. `chain_length` is
+  /// used only by EditFilter::kRing (clamped to [1, tau + 1]; the paper's
+  /// default is min(3, tau + 1)).
+  std::vector<int> Search(const std::string& query, EditFilter filter,
+                          int chain_length, EditSearchStats* stats = nullptr);
+
+ private:
+  EditDistanceSearcher(const std::vector<std::string>* data, int tau,
+                       int kappa, std::shared_ptr<const Index> index);
 
   /// Content-filter lower bound for the box of `gram_mask`@`gram_pos`
   /// against windows of the other string, whose per-position alphabet masks
@@ -107,21 +140,6 @@ class EditDistanceSearcher {
   /// Exact alignment-filter box value (min substring edit distance).
   int ExactBox(const std::string& side, const Gram& gram,
                const std::string& other) const;
-
-  // Immutable after construction, shared between copies.
-  struct Index {
-    Index(const std::vector<std::string>& data, int kappa)
-        : dictionary(data, kappa) {}
-
-    GramDictionary dictionary;
-    std::vector<GramProfile> profiles;
-    std::vector<std::string> padded;                  // PadForGrams(record)
-    std::vector<std::vector<uint64_t>> window_masks;  // over padded records
-    std::unordered_map<int, std::vector<PivotalPosting>> pivotal_index;
-    std::unordered_map<int, std::vector<PrefixPosting>> prefix_index;
-    std::unordered_map<int, std::vector<int>> ids_by_length;
-    std::vector<int> short_ids;
-  };
 
   const std::vector<std::string>* data_;
   int tau_;

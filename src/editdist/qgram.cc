@@ -32,6 +32,24 @@ GramDictionary::GramDictionary(const std::vector<std::string>& data,
   }
 }
 
+GramDictionary GramDictionary::FromBuilt(
+    int kappa, std::vector<std::pair<std::string, int>> entries) {
+  PR_CHECK(kappa >= 1);
+  GramDictionary dict(kappa);
+  dict.rank_of_.reserve(entries.size());
+  for (auto& [gram, rank] : entries) {
+    dict.rank_of_[std::move(gram)] = rank;
+  }
+  return dict;
+}
+
+std::vector<std::pair<std::string, int>> GramDictionary::ExportRanks() const {
+  std::vector<std::pair<std::string, int>> out(rank_of_.begin(),
+                                               rank_of_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 int GramDictionary::RankOf(const std::string& s, int position,
                            int* next_unknown) const {
   auto it = rank_of_.find(s.substr(position, kappa_));

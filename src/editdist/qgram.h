@@ -51,6 +51,15 @@ class GramDictionary {
   /// Builds ranks from all grams of `data` with gram length `kappa`.
   GramDictionary(const std::vector<std::string>& data, int kappa);
 
+  /// Reassembles a dictionary from serialized (gram, rank) entries (the
+  /// storage layer's bulk-load path); nothing is re-derived.
+  static GramDictionary FromBuilt(
+      int kappa, std::vector<std::pair<std::string, int>> entries);
+
+  /// Dumps the dictionary as (gram, rank) pairs sorted by gram — the
+  /// deterministic form the storage layer serializes.
+  std::vector<std::pair<std::string, int>> ExportRanks() const;
+
   int kappa() const { return kappa_; }
   int universe_size() const { return static_cast<int>(rank_of_.size()); }
 
@@ -61,6 +70,8 @@ class GramDictionary {
   GramProfile Profile(const std::string& s, int tau) const;
 
  private:
+  explicit GramDictionary(int kappa) : kappa_(kappa) {}  // for FromBuilt
+
   int RankOf(const std::string& s, int position, int* next_unknown) const;
 
   int kappa_;

@@ -69,6 +69,7 @@ class HammingAdapter {
 
   int size() const { return searcher_.num_objects(); }
   const Query& query(int i) const { return searcher_.objects()[i]; }
+  const hamming::HammingSearcher& searcher() const { return searcher_; }
   std::vector<int> Search(const Query& query, QueryStats* stats = nullptr);
 
  private:
@@ -92,6 +93,8 @@ class SetAdapter {
 
   int size() const { return collection_->num_records(); }
   const Query& query(int i) const { return collection_->record(i); }
+  const setsim::PkwiseSearcher& searcher() const { return searcher_; }
+  const setsim::SetCollection* collection() const { return collection_; }
   std::vector<int> Search(const Query& query, QueryStats* stats = nullptr);
 
  private:
@@ -116,6 +119,8 @@ class EditAdapter {
 
   int size() const { return static_cast<int>(data_->size()); }
   const Query& query(int i) const { return (*data_)[i]; }
+  const editdist::EditDistanceSearcher& searcher() const { return searcher_; }
+  const std::vector<std::string>* data() const { return data_; }
   std::vector<int> Search(const Query& query, QueryStats* stats = nullptr);
 
  private:
@@ -141,6 +146,8 @@ class GraphAdapter {
 
   int size() const { return static_cast<int>(data_->size()); }
   const Query& query(int i) const { return (*data_)[i]; }
+  const graphed::GraphSearcher& searcher() const { return searcher_; }
+  const std::vector<graphed::Graph>* data() const { return data_; }
   std::vector<int> Search(const Query& query, QueryStats* stats = nullptr);
 
  private:

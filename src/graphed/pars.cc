@@ -129,6 +129,18 @@ GraphSearcher::GraphSearcher(const std::vector<Graph>* data, int tau,
   state_ = std::move(state);
 }
 
+GraphSearcher GraphSearcher::FromBuilt(const std::vector<Graph>* data,
+                                       int tau,
+                                       std::shared_ptr<const State> state) {
+  PR_CHECK(data != nullptr);
+  PR_CHECK(tau >= 0);
+  PR_CHECK_MSG(tau + 1 <= 64, "ruled-out bitmask supports at most 64 boxes");
+  PR_CHECK(state != nullptr);
+  PR_CHECK(state->parts.size() == data->size());
+  PR_CHECK(state->histograms.size() == data->size());
+  return GraphSearcher(data, tau, std::move(state));
+}
+
 GraphSearcher::LabelHistogram GraphSearcher::BuildHistogram(
     const Graph& g) const {
   LabelHistogram h;

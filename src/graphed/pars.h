@@ -61,23 +61,6 @@ int DeletionNeighborhoodBound(const Part& part, const Graph& query,
 /// per-session cursors rely on this.
 class GraphSearcher {
  public:
-  /// Partitions every data graph into tau + 1 parts (deterministic in
-  /// `partition_seed`).
-  GraphSearcher(const std::vector<Graph>* data, int tau,
-                uint64_t partition_seed = 1);
-
-  int tau() const { return tau_; }
-  int num_boxes() const { return tau_ + 1; }
-  const std::vector<Part>& parts(int id) const { return state_->parts[id]; }
-
-  /// Finds ids of all graphs with ged(x, query) <= tau. `chain_length` is
-  /// used only by GraphFilter::kRing (the paper's best setting is
-  /// l in [tau - 2, tau]).
-  std::vector<int> Search(const Graph& query, GraphFilter filter,
-                          int chain_length,
-                          GraphSearchStats* stats = nullptr);
-
- private:
   // Compact per-graph label histograms for the scan-time lower bound (the
   // generic LabelLowerBound allocates maps, too slow for the per-query
   // collection scan).
@@ -88,15 +71,45 @@ class GraphSearcher {
     int num_edges = 0;
   };
 
-  LabelHistogram BuildHistogram(const Graph& g) const;
-  static int HistogramLowerBound(const LabelHistogram& a,
-                                 const LabelHistogram& b);
-
-  // Immutable after construction, shared between copies.
+  /// The built partitions + histograms. Immutable after construction,
+  /// shared between searcher copies; exposed so the storage layer can
+  /// serialize and bulk-load it.
   struct State {
     std::vector<std::vector<Part>> parts;
     std::vector<LabelHistogram> histograms;
   };
+
+  /// Partitions every data graph into tau + 1 parts (deterministic in
+  /// `partition_seed`).
+  GraphSearcher(const std::vector<Graph>* data, int tau,
+                uint64_t partition_seed = 1);
+
+  /// Assembles a searcher around already-built partitions and histograms
+  /// (the storage layer's bulk-load path) — nothing is re-derived. `state`
+  /// must describe exactly `data` under the same tau and seed.
+  static GraphSearcher FromBuilt(const std::vector<Graph>* data, int tau,
+                                 std::shared_ptr<const State> state);
+
+  int tau() const { return tau_; }
+  int num_boxes() const { return tau_ + 1; }
+  const std::vector<Part>& parts(int id) const { return state_->parts[id]; }
+  const State& state() const { return *state_; }
+
+  /// Finds ids of all graphs with ged(x, query) <= tau. `chain_length` is
+  /// used only by GraphFilter::kRing (the paper's best setting is
+  /// l in [tau - 2, tau]).
+  std::vector<int> Search(const Graph& query, GraphFilter filter,
+                          int chain_length,
+                          GraphSearchStats* stats = nullptr);
+
+ private:
+  GraphSearcher(const std::vector<Graph>* data, int tau,
+                std::shared_ptr<const State> state)
+      : data_(data), tau_(tau), state_(std::move(state)) {}
+
+  LabelHistogram BuildHistogram(const Graph& g) const;
+  static int HistogramLowerBound(const LabelHistogram& a,
+                                 const LabelHistogram& b);
 
   const std::vector<Graph>* data_;
   int tau_;

@@ -1,5 +1,7 @@
 #include "hamming/index.h"
 
+#include <algorithm>
+
 namespace pigeonring::hamming {
 
 namespace {
@@ -40,6 +42,26 @@ PartitionIndex::PartitionIndex(const std::vector<BitVector>& objects,
       part_buckets_[p][key].push_back(id);
     }
   }
+}
+
+PartitionIndex PartitionIndex::FromBuckets(Partition partition,
+                                           int num_objects,
+                                           std::vector<Buckets> part_buckets) {
+  PR_CHECK(static_cast<int>(part_buckets.size()) == partition.num_parts());
+  return PartitionIndex(std::move(partition), num_objects,
+                        std::move(part_buckets));
+}
+
+void PartitionIndex::ForEachBucketSorted(
+    int part,
+    const std::function<void(uint64_t, const std::vector<int>&)>& fn) const {
+  PR_CHECK(part >= 0 && part < partition_.num_parts());
+  const Buckets& buckets = part_buckets_[part];
+  std::vector<uint64_t> keys;
+  keys.reserve(buckets.size());
+  for (const auto& [key, ids] : buckets) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) fn(key, buckets.at(key));
 }
 
 void PartitionIndex::ProbeAtRadius(const BitVector& query, int part,

@@ -29,13 +29,28 @@ void ForEachKeyAtRadius(uint64_t base, int width, int radius,
 /// The per-part inverted index.
 class PartitionIndex {
  public:
+  /// One part's hash table: part bit pattern -> ids holding it.
+  using Buckets = std::unordered_map<uint64_t, std::vector<int>>;
+
   /// Indexes `objects` (which must all have `partition.dimensions()`
   /// dimensions) under `partition`. O(N * m).
   PartitionIndex(const std::vector<BitVector>& objects,
                  Partition partition);
 
+  /// Reassembles an index from deserialized buckets (the storage layer's
+  /// bulk-load path). `part_buckets` must hold one table per part, with the
+  /// same posting order the building constructor produces (ids ascending).
+  static PartitionIndex FromBuckets(Partition partition, int num_objects,
+                                    std::vector<Buckets> part_buckets);
+
   const Partition& partition() const { return partition_; }
   int num_objects() const { return num_objects_; }
+
+  /// Invokes `fn(key, ids)` for every bucket of part `part` in ascending
+  /// key order — the deterministic dump the storage layer serializes.
+  void ForEachBucketSorted(
+      int part,
+      const std::function<void(uint64_t, const std::vector<int>&)>& fn) const;
 
   /// Invokes `fn(id, distance)` for every object whose part-`part` pattern
   /// is at Hamming distance exactly `radius` from the query's pattern.
@@ -49,7 +64,11 @@ class PartitionIndex {
   int64_t CountAtRadius(const BitVector& query, int part, int radius) const;
 
  private:
-  using Buckets = std::unordered_map<uint64_t, std::vector<int>>;
+  PartitionIndex(Partition partition, int num_objects,
+                 std::vector<Buckets> part_buckets)
+      : partition_(std::move(partition)),
+        num_objects_(num_objects),
+        part_buckets_(std::move(part_buckets)) {}
 
   Partition partition_;
   int num_objects_;

@@ -21,6 +21,15 @@ class Partition {
   /// width <= 64 (parts are used as hash keys).
   static Partition EquiWidth(int dimensions, int num_parts);
 
+  /// Reassembles a partition from serialized boundaries (storage layer).
+  /// `bounds` must be strictly increasing from 0 to `dimensions` with every
+  /// width <= 64 — callers validate before constructing.
+  static Partition FromBounds(int dimensions, std::vector<int> bounds) {
+    PR_CHECK(bounds.size() >= 2 && bounds.front() == 0 &&
+             bounds.back() == dimensions);
+    return Partition(dimensions, std::move(bounds));
+  }
+
   int dimensions() const { return dimensions_; }
   int num_parts() const { return static_cast<int>(bounds_.size()) - 1; }
 

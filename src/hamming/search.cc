@@ -26,6 +26,25 @@ HammingSearcher::HammingSearcher(std::vector<BitVector> objects,
   decided_.assign(objects_->size(), 0);
 }
 
+HammingSearcher HammingSearcher::FromBuilt(
+    std::vector<BitVector> objects,
+    std::shared_ptr<const PartitionIndex> index) {
+  PR_CHECK(index != nullptr);
+  PR_CHECK(index->num_objects() == static_cast<int>(objects.size()));
+  PR_CHECK_MSG(index->partition().num_parts() <= 64,
+               "ruled-out bitmask supports at most 64 parts");
+  HammingSearcher s;
+  s.objects_ =
+      std::make_shared<const std::vector<BitVector>>(std::move(objects));
+  s.flat_ = std::make_shared<const kernels::FlatBitTable>(
+      kernels::FlatBitTable::FromVectors(*s.objects_));
+  s.index_ = std::move(index);
+  s.seen_epoch_.assign(s.objects_->size(), 0);
+  s.ruled_out_.assign(s.objects_->size(), 0);
+  s.decided_.assign(s.objects_->size(), 0);
+  return s;
+}
+
 std::vector<int> HammingSearcher::AllocateThresholds(
     const BitVector& query, int tau, AllocationMode mode) const {
   const int m = num_parts();

@@ -57,9 +57,16 @@ class HammingSearcher {
   /// m = floor(d / 16) when passed 0.
   HammingSearcher(std::vector<BitVector> objects, int num_parts = 0);
 
+  /// Assembles a searcher around an already-built index (the storage layer's
+  /// bulk-load path) — no hashing or partitioning is re-derived. `index` must
+  /// describe exactly `objects`.
+  static HammingSearcher FromBuilt(std::vector<BitVector> objects,
+                                   std::shared_ptr<const PartitionIndex> index);
+
   int num_parts() const { return index_->partition().num_parts(); }
   int num_objects() const { return static_cast<int>(objects_->size()); }
   const std::vector<BitVector>& objects() const { return *objects_; }
+  const PartitionIndex& partition_index() const { return *index_; }
 
   /// Finds all ids with H(x, q) <= tau. `chain_length` = 1 reproduces the
   /// GPH baseline; larger values enable the pigeonring filter. `stats` may
@@ -73,6 +80,8 @@ class HammingSearcher {
                                       AllocationMode mode) const;
 
  private:
+  HammingSearcher() = default;  // for FromBuilt
+
   // Immutable after construction, shared across copies.
   std::shared_ptr<const std::vector<BitVector>> objects_;
   // Flat, cache-aligned mirror (row i == objects[i]) that the chain-check

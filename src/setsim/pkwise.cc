@@ -67,6 +67,33 @@ PkwiseSearcher::PkwiseSearcher(const SetCollection* collection, double tau,
   touched_.reserve(1024);
 }
 
+PkwiseSearcher::PkwiseSearcher(const SetCollection* collection, double tau,
+                               int num_boxes, SetMeasure measure,
+                               std::shared_ptr<const Index> index)
+    : collection_(collection),
+      tau_(tau),
+      num_boxes_(num_boxes),
+      num_classes_(num_boxes - 1),
+      measure_(measure),
+      index_(std::move(index)) {
+  PR_CHECK(collection_ != nullptr);
+  PR_CHECK(num_boxes_ >= 2);
+  PR_CHECK(index_ != nullptr);
+  PR_CHECK(static_cast<int>(index_->prefixes.size()) ==
+           collection_->num_records());
+  const int n = collection_->num_records();
+  seen_epoch_.assign(n, 0);
+  class_counts_.assign(static_cast<size_t>(n) * (num_classes_ + 1), 0);
+  touched_.reserve(1024);
+}
+
+PkwiseSearcher PkwiseSearcher::FromBuilt(const SetCollection* collection,
+                                         double tau, int num_boxes,
+                                         SetMeasure measure,
+                                         std::shared_ptr<const Index> index) {
+  return PkwiseSearcher(collection, tau, num_boxes, measure, std::move(index));
+}
+
 std::vector<int> PkwiseSearcher::Search(const RankedSet& query,
                                         int chain_length,
                                         SetSearchStats* stats) {

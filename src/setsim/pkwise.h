@@ -60,13 +60,29 @@ enum class SetMeasure {
 /// per-thread clones and the api layer's per-session cursors rely on this.
 class PkwiseSearcher {
  public:
+  /// The built prefix metadata + inverted index. Immutable after
+  /// construction, shared between searcher copies; exposed so the storage
+  /// layer can serialize and bulk-load it.
+  struct Index {
+    std::vector<PrefixInfo> prefixes;        // per record
+    std::vector<std::vector<int>> inverted;  // token rank -> prefix ids
+  };
+
   /// Indexes `collection` for queries with similarity >= `tau` under
   /// `measure`. `num_boxes` is m of §6.2 (m - 1 token classes + 1 suffix
   /// box); the paper's default is m = 5.
   PkwiseSearcher(const SetCollection* collection, double tau,
                  int num_boxes = 5, SetMeasure measure = SetMeasure::kJaccard);
 
+  /// Assembles a searcher around an already-built index (the storage
+  /// layer's bulk-load path) — no prefixes or postings are re-derived.
+  /// `index` must describe exactly `collection` under the same parameters.
+  static PkwiseSearcher FromBuilt(const SetCollection* collection, double tau,
+                                  int num_boxes, SetMeasure measure,
+                                  std::shared_ptr<const Index> index);
+
   int num_boxes() const { return num_boxes_; }
+  const Index& index() const { return *index_; }
 
   /// Finds ids of all records with J(record, query) >= tau. `query` must be
   /// produced by SetCollection::MapQuery (or be a record of the
@@ -75,18 +91,15 @@ class PkwiseSearcher {
                           SetSearchStats* stats = nullptr);
 
  private:
+  PkwiseSearcher(const SetCollection* collection, double tau, int num_boxes,
+                 SetMeasure measure, std::shared_ptr<const Index> index);
+
   /// Minimum overlap this record can need with any admissible query.
   int RecordMinOverlap(int size) const;
   /// Exact overlap requirement for a record/query size pair.
   int PairOverlap(int size_x, int size_q) const;
   /// Admissible record sizes for a query of `size`.
   std::pair<int, int> SizeWindow(int size) const;
-
-  // Immutable after construction, shared between copies.
-  struct Index {
-    std::vector<PrefixInfo> prefixes;        // per record
-    std::vector<std::vector<int>> inverted;  // token rank -> prefix ids
-  };
 
   const SetCollection* collection_;
   double tau_;

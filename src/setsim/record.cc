@@ -83,6 +83,27 @@ SetCollection::SetCollection(const std::vector<std::vector<int>>& raw) {
   }
 }
 
+SetCollection SetCollection::FromBuilt(
+    std::vector<std::pair<int, int>> dictionary,
+    std::vector<RankedSet> records, int universe_size) {
+  PR_CHECK(static_cast<int>(dictionary.size()) == universe_size);
+  SetCollection c;
+  c.token_to_rank_.reserve(dictionary.size());
+  for (const auto& [token, rank] : dictionary) {
+    c.token_to_rank_[token] = rank;
+  }
+  c.records_ = std::move(records);
+  c.universe_size_ = universe_size;
+  return c;
+}
+
+std::vector<std::pair<int, int>> SetCollection::ExportDictionary() const {
+  std::vector<std::pair<int, int>> out(token_to_rank_.begin(),
+                                       token_to_rank_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 RankedSet SetCollection::MapQuery(const std::vector<int>& raw_query) const {
   RankedSet mapped;
   mapped.reserve(raw_query.size());

@@ -57,6 +57,17 @@ class SetCollection {
   /// within a record are removed (records are sets).
   explicit SetCollection(const std::vector<std::vector<int>>& raw);
 
+  /// Reassembles a collection from serialized state (the storage layer's
+  /// bulk-load path); nothing is re-derived. `dictionary` holds
+  /// (token, rank) pairs.
+  static SetCollection FromBuilt(std::vector<std::pair<int, int>> dictionary,
+                                 std::vector<RankedSet> records,
+                                 int universe_size);
+
+  /// Dumps the token dictionary as (token, rank) pairs sorted by token —
+  /// the deterministic form the storage layer serializes.
+  std::vector<std::pair<int, int>> ExportDictionary() const;
+
   int num_records() const { return static_cast<int>(records_.size()); }
   int universe_size() const { return universe_size_; }
   const RankedSet& record(int id) const { return records_[id]; }
@@ -67,6 +78,8 @@ class SetCollection {
   RankedSet MapQuery(const std::vector<int>& raw_query) const;
 
  private:
+  SetCollection() = default;  // for FromBuilt
+
   std::unordered_map<int, int> token_to_rank_;
   std::vector<RankedSet> records_;
   int universe_size_ = 0;

@@ -1,0 +1,184 @@
+// Bounds-checked little-endian byte (de)serialization primitives for the
+// persistent index format.
+//
+// ByteWriter appends primitives to a growing buffer; ByteReader consumes
+// them back. The reader is written for hostile input: every read is
+// bounds-checked, an overrun returns a zero value and latches a failure
+// flag (checked once per section via ok()), and vector/string reads refuse
+// element counts that exceed the bytes actually remaining — so a corrupted
+// or fuzzed length field can neither read out of bounds nor trigger a
+// multi-gigabyte allocation. Decoders must check ok() before trusting any
+// decoded value that drives indexing or allocation.
+//
+// All integers are little-endian regardless of host order; doubles travel
+// as their IEEE-754 bit pattern. Index files are therefore byte-identical
+// across machines.
+
+#ifndef PIGEONRING_STORAGE_BYTES_H_
+#define PIGEONRING_STORAGE_BYTES_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pigeonring::storage {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  void Bytes(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  /// Length-prefixed string: u64 byte count + raw bytes.
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+
+  /// Length-prefixed int vector: u64 element count + i32 elements.
+  void VecI32(const std::vector<int>& v) {
+    U64(v.size());
+    for (int x : v) I32(x);
+  }
+
+  /// Length-prefixed word vector: u64 element count + u64 elements.
+  void VecU64(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (uint64_t x : v) U64(x);
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() && { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() { return std::bit_cast<double>(U64()); }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (!Need(size)) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  std::string Str() {
+    const uint64_t size = U64();
+    if (!ok_ || size > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return s;
+  }
+
+  std::vector<int> VecI32() {
+    const uint64_t count = U64();
+    if (!ok_ || count > remaining() / 4) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<int> v(static_cast<size_t>(count));
+    for (auto& x : v) x = I32();
+    return v;
+  }
+
+  std::vector<uint64_t> VecU64() {
+    const uint64_t count = U64();
+    if (!ok_ || count > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint64_t> v(static_cast<size_t>(count));
+    for (auto& x : v) x = U64();
+    return v;
+  }
+
+  /// A guarded element count for caller-decoded sequences: fails (and
+  /// returns 0) unless `count * min_bytes_per_element` bytes remain, so a
+  /// corrupt count cannot drive a runaway allocation.
+  uint64_t Count(size_t min_bytes_per_element) {
+    const uint64_t count = U64();
+    if (!ok_ || (min_bytes_per_element > 0 &&
+                 count > remaining() / min_bytes_per_element)) {
+      ok_ = false;
+      return 0;
+    }
+    return count;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  /// True iff every byte was consumed and no read overran — the
+  /// end-of-section invariant decoders assert.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pigeonring::storage
+
+#endif  // PIGEONRING_STORAGE_BYTES_H_

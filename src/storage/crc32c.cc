@@ -1,0 +1,60 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace pigeonring::storage {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+// table[k][b] extends it so eight input bytes fold in two XOR trees per
+// iteration instead of eight serial table lookups.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][b] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      const uint32_t prev = tables.t[k - 1][b];
+      tables.t[k][b] = (prev >> 8) ^ tables.t[0][prev & 0xFF];
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][crc & 0xFF] ^ kTables.t[6][(crc >> 8) & 0xFF] ^
+          kTables.t[5][(crc >> 16) & 0xFF] ^ kTables.t[4][crc >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace pigeonring::storage

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte ranges — the
+// checksum guarding every header, TOC, and section of the persistent index
+// format (storage/index_file.h). Castagnoli rather than the zlib polynomial
+// because its error-detection properties are better understood for storage
+// workloads (it is what ext4, iSCSI, and RocksDB use).
+//
+// The implementation is table-driven (slicing-by-8, ~1 GB/s) and fully
+// portable: index files carry no ISA dependence, and a file written on any
+// machine verifies on any other.
+
+#ifndef PIGEONRING_STORAGE_CRC32C_H_
+#define PIGEONRING_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pigeonring::storage {
+
+/// CRC32C of `size` bytes starting at `data`. Chain over split buffers by
+/// passing the previous result as `seed` (the default 0 starts a fresh
+/// checksum).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace pigeonring::storage
+
+#endif  // PIGEONRING_STORAGE_CRC32C_H_

@@ -1,0 +1,968 @@
+#include "storage/index_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "editdist/qgram.h"
+#include "graphed/partition.h"
+#include "hamming/index.h"
+#include "hamming/partition.h"
+#include "setsim/prefix.h"
+
+namespace pigeonring::storage {
+
+namespace {
+
+Status SectionCorrupt(SectionId id, const std::string& what) {
+  return Status::DataLoss("index section " +
+                          std::to_string(static_cast<uint32_t>(id)) +
+                          " corrupt: " + what);
+}
+
+// The end-of-section invariant every decoder asserts: all bytes consumed
+// and no read overran.
+Status CheckConsumed(const ByteReader& reader, SectionId id) {
+  if (!reader.AtEnd()) {
+    return SectionCorrupt(id, "malformed encoding (overrun or trailing bytes)");
+  }
+  return Status::Ok();
+}
+
+// --- Hamming ---
+
+constexpr int kWordBytes = 8;
+
+std::vector<uint8_t> EncodeHammingObjects(
+    const std::vector<BitVector>& objects) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(objects.size()));
+  const int dims = objects.empty() ? 0 : objects.front().dimensions();
+  w.I32(dims);
+  for (const BitVector& v : objects) {
+    for (uint64_t word : v.words()) w.U64(word);
+  }
+  return std::move(w).Take();
+}
+
+Status DecodeHammingObjects(ByteReader reader,
+                            std::vector<BitVector>* objects) {
+  const uint32_t n = reader.U32();
+  const int dims = reader.I32();
+  if (!reader.ok() || dims < 0 || (n > 0 && dims == 0)) {
+    return SectionCorrupt(SectionId::kHammingObjects, "bad geometry");
+  }
+  const int words_per = (dims + 63) / 64;
+  if (n > 0 &&
+      n > reader.remaining() / (static_cast<size_t>(words_per) * kWordBytes)) {
+    return SectionCorrupt(SectionId::kHammingObjects,
+                          "row count exceeds the section size");
+  }
+  // Bits past `dims` in the last word must be zero — ExtractBits and the
+  // popcount kernels read whole words.
+  const uint64_t tail_mask =
+      dims % 64 == 0 ? ~uint64_t{0} : (uint64_t{1} << (dims % 64)) - 1;
+  objects->reserve(static_cast<size_t>(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> words(words_per);
+    for (auto& word : words) word = reader.U64();
+    if (!reader.ok()) {
+      return SectionCorrupt(SectionId::kHammingObjects, "truncated rows");
+    }
+    if (words_per > 0 && (words.back() & ~tail_mask) != 0) {
+      return SectionCorrupt(SectionId::kHammingObjects,
+                            "set bits past the declared dimensionality");
+    }
+    objects->push_back(BitVector::FromWords(dims, std::move(words)));
+  }
+  return CheckConsumed(reader, SectionId::kHammingObjects);
+}
+
+std::vector<uint8_t> EncodeHammingPartition(
+    const hamming::Partition& partition) {
+  ByteWriter w;
+  w.I32(partition.dimensions());
+  std::vector<int> bounds;
+  bounds.reserve(partition.num_parts() + 1);
+  bounds.push_back(0);
+  for (int p = 0; p < partition.num_parts(); ++p) {
+    bounds.push_back(partition.end(p));
+  }
+  w.VecI32(bounds);
+  return std::move(w).Take();
+}
+
+Status DecodeHammingPartition(ByteReader reader, int* dimensions,
+                              std::vector<int>* bounds) {
+  *dimensions = reader.I32();
+  *bounds = reader.VecI32();
+  Status consumed = CheckConsumed(reader, SectionId::kHammingPartition);
+  if (!consumed.ok()) return consumed;
+  if (*dimensions < 1 || bounds->size() < 2 || bounds->front() != 0 ||
+      bounds->back() != *dimensions ||
+      bounds->size() > 65) {  // <= 64 parts (chain bitmask limit)
+    return SectionCorrupt(SectionId::kHammingPartition, "bad geometry");
+  }
+  for (size_t i = 1; i < bounds->size(); ++i) {
+    const int width = (*bounds)[i] - (*bounds)[i - 1];
+    if (width < 1 || width > 64) {
+      return SectionCorrupt(SectionId::kHammingPartition,
+                            "part width outside [1, 64]");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeHammingPostings(
+    const hamming::PartitionIndex& index) {
+  ByteWriter w;
+  const int m = index.partition().num_parts();
+  w.U32(static_cast<uint32_t>(m));
+  for (int p = 0; p < m; ++p) {
+    // Bucket count first; keys in ascending order, posting lists in build
+    // order (ids ascending) — the deterministic dump.
+    size_t num_buckets = 0;
+    index.ForEachBucketSorted(
+        p, [&](uint64_t, const std::vector<int>&) { ++num_buckets; });
+    w.U64(num_buckets);
+    index.ForEachBucketSorted(p,
+                              [&](uint64_t key, const std::vector<int>& ids) {
+                                w.U64(key);
+                                w.VecI32(ids);
+                              });
+  }
+  return std::move(w).Take();
+}
+
+Status DecodeHammingPostings(
+    ByteReader reader, int num_parts, int num_objects,
+    std::vector<hamming::PartitionIndex::Buckets>* part_buckets) {
+  const uint32_t m = reader.U32();
+  if (!reader.ok() || static_cast<int>(m) != num_parts) {
+    return SectionCorrupt(SectionId::kHammingPostings,
+                          "part count disagrees with the partition section");
+  }
+  part_buckets->resize(num_parts);
+  for (int p = 0; p < num_parts; ++p) {
+    // Each bucket needs at least key (8) + id-count (8) bytes.
+    const uint64_t num_buckets = reader.Count(16);
+    if (!reader.ok()) {
+      return SectionCorrupt(SectionId::kHammingPostings, "bad bucket count");
+    }
+    auto& buckets = (*part_buckets)[p];
+    buckets.reserve(static_cast<size_t>(num_buckets));
+    for (uint64_t b = 0; b < num_buckets; ++b) {
+      const uint64_t key = reader.U64();
+      std::vector<int> ids = reader.VecI32();
+      if (!reader.ok()) {
+        return SectionCorrupt(SectionId::kHammingPostings,
+                              "truncated bucket");
+      }
+      for (int id : ids) {
+        if (id < 0 || id >= num_objects) {
+          return SectionCorrupt(SectionId::kHammingPostings,
+                                "posting id outside the collection");
+        }
+      }
+      if (!buckets.emplace(key, std::move(ids)).second) {
+        return SectionCorrupt(SectionId::kHammingPostings,
+                              "duplicate bucket key");
+      }
+    }
+  }
+  return CheckConsumed(reader, SectionId::kHammingPostings);
+}
+
+// --- Sets ---
+
+std::vector<uint8_t> EncodeSetRecords(const setsim::SetCollection& c) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(c.num_records()));
+  for (int id = 0; id < c.num_records(); ++id) w.VecI32(c.record(id));
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeSetDictionary(const setsim::SetCollection& c) {
+  ByteWriter w;
+  const auto entries = c.ExportDictionary();
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [token, rank] : entries) {
+    w.I32(token);
+    w.I32(rank);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeSetPrefixes(
+    const std::vector<setsim::PrefixInfo>& prefixes) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(prefixes.size()));
+  for (const setsim::PrefixInfo& info : prefixes) {
+    w.I32(info.prefix_length);
+    w.I32(info.last_rank);
+    w.VecI32(info.class_count);
+    w.VecI32(info.class_threshold);
+    w.I32(info.suffix_threshold);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeSetInverted(
+    const std::vector<std::vector<int>>& inverted) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(inverted.size()));
+  for (const std::vector<int>& ids : inverted) w.VecI32(ids);
+  return std::move(w).Take();
+}
+
+// --- Edit distance ---
+
+std::vector<uint8_t> EncodeEditStrings(const std::vector<std::string>& data) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(data.size()));
+  for (const std::string& s : data) w.Str(s);
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditDictionary(
+    const editdist::GramDictionary& dictionary) {
+  ByteWriter w;
+  w.I32(dictionary.kappa());
+  const auto entries = dictionary.ExportRanks();
+  w.U64(entries.size());
+  for (const auto& [gram, rank] : entries) {
+    w.Str(gram);
+    w.I32(rank);
+  }
+  return std::move(w).Take();
+}
+
+void EncodeGramList(ByteWriter& w, const std::vector<editdist::Gram>& grams) {
+  w.U64(grams.size());
+  for (const editdist::Gram& g : grams) {
+    w.I32(g.rank);
+    w.I32(g.position);
+  }
+}
+
+// Decodes a gram list whose positions must index windows of a padded string
+// of `padded_len` characters with gram width `kappa`.
+bool DecodeGramList(ByteReader& reader, int padded_len, int kappa,
+                    std::vector<editdist::Gram>* grams) {
+  const uint64_t count = reader.Count(8);
+  if (!reader.ok()) return false;
+  grams->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    editdist::Gram g;
+    g.rank = reader.I32();
+    g.position = reader.I32();
+    if (g.position < 0 || g.position > padded_len - kappa) return false;
+    grams->push_back(g);
+  }
+  return reader.ok();
+}
+
+std::vector<uint8_t> EncodeEditProfiles(
+    const std::vector<editdist::GramProfile>& profiles) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(profiles.size()));
+  for (const editdist::GramProfile& p : profiles) {
+    w.U8(p.is_short ? 1 : 0);
+    w.I32(p.prefix_last_rank);
+    EncodeGramList(w, p.prefix);
+    EncodeGramList(w, p.pivotal);
+    w.VecU64(p.pivotal_masks);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditPadded(const std::vector<std::string>& padded) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(padded.size()));
+  for (const std::string& s : padded) w.Str(s);
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditWindowMasks(
+    const std::vector<std::vector<uint64_t>>& masks) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(masks.size()));
+  for (const std::vector<uint64_t>& m : masks) w.VecU64(m);
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditPivotalIndex(
+    const std::unordered_map<
+        int, std::vector<editdist::EditDistanceSearcher::PivotalPosting>>&
+        index) {
+  // Sorted key order for determinism; posting lists keep build order.
+  std::map<int, const std::vector<
+                    editdist::EditDistanceSearcher::PivotalPosting>*>
+      sorted;
+  for (const auto& [rank, postings] : index) sorted[rank] = &postings;
+  ByteWriter w;
+  w.U64(sorted.size());
+  for (const auto& [rank, postings] : sorted) {
+    w.I32(rank);
+    w.U64(postings->size());
+    for (const auto& p : *postings) {
+      w.I32(p.id);
+      w.I32(p.pivotal_index);
+      w.I32(p.position);
+    }
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditPrefixIndex(
+    const std::unordered_map<
+        int, std::vector<editdist::EditDistanceSearcher::PrefixPosting>>&
+        index) {
+  std::map<int,
+           const std::vector<editdist::EditDistanceSearcher::PrefixPosting>*>
+      sorted;
+  for (const auto& [rank, postings] : index) sorted[rank] = &postings;
+  ByteWriter w;
+  w.U64(sorted.size());
+  for (const auto& [rank, postings] : sorted) {
+    w.I32(rank);
+    w.U64(postings->size());
+    for (const auto& p : *postings) {
+      w.I32(p.id);
+      w.I32(p.position);
+    }
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditLengths(
+    const std::unordered_map<int, std::vector<int>>& ids_by_length,
+    const std::vector<int>& short_ids) {
+  std::map<int, const std::vector<int>*> sorted;
+  for (const auto& [len, ids] : ids_by_length) sorted[len] = &ids;
+  ByteWriter w;
+  w.U64(sorted.size());
+  for (const auto& [len, ids] : sorted) {
+    w.I32(len);
+    w.VecI32(*ids);
+  }
+  w.VecI32(short_ids);
+  return std::move(w).Take();
+}
+
+// --- Graphs ---
+
+void EncodeGraph(ByteWriter& w, const graphed::Graph& g) {
+  w.VecI32(g.vertex_labels());
+  w.U32(static_cast<uint32_t>(g.num_edges()));
+  for (const graphed::Edge& e : g.edges()) {
+    w.I32(e.u);
+    w.I32(e.v);
+    w.I32(e.label);
+  }
+}
+
+// Validates edges before insertion so hostile payloads produce kDataLoss
+// instead of tripping Graph::AddEdge's PR_CHECKs.
+bool DecodeGraph(ByteReader& reader, graphed::Graph* g) {
+  std::vector<int> labels = reader.VecI32();
+  if (!reader.ok()) return false;
+  *g = graphed::Graph(std::move(labels));
+  const uint32_t num_edges = reader.U32();
+  if (!reader.ok() ||
+      num_edges > reader.remaining() / 12) {  // 3 i32 per edge
+    return false;
+  }
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    const int u = reader.I32();
+    const int v = reader.I32();
+    const int label = reader.I32();
+    if (!reader.ok() || u < 0 || v < 0 || u >= g->num_vertices() ||
+        v >= g->num_vertices() || u == v || g->HasEdge(u, v)) {
+      return false;
+    }
+    g->AddEdge(u, v, label);
+  }
+  return true;
+}
+
+std::vector<uint8_t> EncodeGraphData(const std::vector<graphed::Graph>& data) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(data.size()));
+  for (const graphed::Graph& g : data) EncodeGraph(w, g);
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeGraphParts(
+    const std::vector<std::vector<graphed::Part>>& parts) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(parts.size()));
+  for (const std::vector<graphed::Part>& graph_parts : parts) {
+    w.U32(static_cast<uint32_t>(graph_parts.size()));
+    for (const graphed::Part& part : graph_parts) {
+      EncodeGraph(w, part.graph);
+      w.U64(part.half_edges.size());
+      for (const auto& [v, label] : part.half_edges) {
+        w.I32(v);
+        w.I32(label);
+      }
+    }
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeGraphHistograms(
+    const std::vector<graphed::GraphSearcher::LabelHistogram>& histograms) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& h : histograms) {
+    w.VecI32(h.vertex_counts);
+    w.VecI32(h.edge_counts);
+    w.I32(h.num_vertices);
+    w.I32(h.num_edges);
+  }
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+// --- Hamming ---
+
+void SaveHammingSections(const hamming::HammingSearcher& searcher,
+                         IndexFileWriter& writer) {
+  const hamming::PartitionIndex& index = searcher.partition_index();
+  writer.AddSection(SectionId::kHammingObjects,
+                    EncodeHammingObjects(searcher.objects()));
+  writer.AddSection(SectionId::kHammingPartition,
+                    EncodeHammingPartition(index.partition()));
+  writer.AddSection(SectionId::kHammingPostings,
+                    EncodeHammingPostings(index));
+}
+
+StatusOr<LoadedHamming> LoadHammingSections(const IndexFileReader& reader) {
+  auto objects_section = reader.Section(SectionId::kHammingObjects);
+  if (!objects_section.ok()) return objects_section.status();
+  LoadedHamming loaded;
+  Status s = DecodeHammingObjects(*objects_section, &loaded.objects);
+  if (!s.ok()) return s;
+
+  auto partition_section = reader.Section(SectionId::kHammingPartition);
+  if (!partition_section.ok()) return partition_section.status();
+  int dimensions = 0;
+  std::vector<int> bounds;
+  s = DecodeHammingPartition(*partition_section, &dimensions, &bounds);
+  if (!s.ok()) return s;
+  if (!loaded.objects.empty() &&
+      loaded.objects.front().dimensions() != dimensions) {
+    return SectionCorrupt(
+        SectionId::kHammingPartition,
+        "partition dimensionality disagrees with the objects section");
+  }
+  const int num_parts = static_cast<int>(bounds.size()) - 1;
+  hamming::Partition partition =
+      hamming::Partition::FromBounds(dimensions, std::move(bounds));
+
+  auto postings_section = reader.Section(SectionId::kHammingPostings);
+  if (!postings_section.ok()) return postings_section.status();
+  std::vector<hamming::PartitionIndex::Buckets> part_buckets;
+  s = DecodeHammingPostings(*postings_section, num_parts,
+                            static_cast<int>(loaded.objects.size()),
+                            &part_buckets);
+  if (!s.ok()) return s;
+
+  loaded.index = std::make_shared<const hamming::PartitionIndex>(
+      hamming::PartitionIndex::FromBuckets(
+          std::move(partition), static_cast<int>(loaded.objects.size()),
+          std::move(part_buckets)));
+  return loaded;
+}
+
+// --- Sets ---
+
+void SaveSetSections(const setsim::SetCollection& collection,
+                     const setsim::PkwiseSearcher& searcher,
+                     IndexFileWriter& writer) {
+  writer.AddSection(SectionId::kSetRecords, EncodeSetRecords(collection));
+  writer.AddSection(SectionId::kSetDictionary,
+                    EncodeSetDictionary(collection));
+  writer.AddSection(SectionId::kSetPrefixes,
+                    EncodeSetPrefixes(searcher.index().prefixes));
+  writer.AddSection(SectionId::kSetInverted,
+                    EncodeSetInverted(searcher.index().inverted));
+}
+
+StatusOr<LoadedSet> LoadSetSections(const IndexFileReader& reader,
+                                    int num_boxes) {
+  const int num_classes = num_boxes - 1;
+
+  auto records_section = reader.Section(SectionId::kSetRecords);
+  if (!records_section.ok()) return records_section.status();
+  ByteReader records_reader = *records_section;
+  const uint32_t n = records_reader.U32();
+  if (!records_reader.ok() ||
+      n > records_reader.remaining() / 8) {  // u64 length per record
+    return SectionCorrupt(SectionId::kSetRecords, "bad record count");
+  }
+  std::vector<setsim::RankedSet> records;
+  records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    records.push_back(records_reader.VecI32());
+  }
+  Status s = CheckConsumed(records_reader, SectionId::kSetRecords);
+  if (!s.ok()) return s;
+
+  auto dict_section = reader.Section(SectionId::kSetDictionary);
+  if (!dict_section.ok()) return dict_section.status();
+  ByteReader dict_reader = *dict_section;
+  const uint32_t universe = dict_reader.U32();
+  if (!dict_reader.ok() ||
+      universe > dict_reader.remaining() / 8) {  // 2 i32 per entry
+    return SectionCorrupt(SectionId::kSetDictionary, "bad entry count");
+  }
+  std::vector<std::pair<int, int>> dictionary;
+  dictionary.reserve(universe);
+  for (uint32_t i = 0; i < universe; ++i) {
+    const int token = dict_reader.I32();
+    const int rank = dict_reader.I32();
+    dictionary.emplace_back(token, rank);
+  }
+  s = CheckConsumed(dict_reader, SectionId::kSetDictionary);
+  if (!s.ok()) return s;
+
+  auto prefixes_section = reader.Section(SectionId::kSetPrefixes);
+  if (!prefixes_section.ok()) return prefixes_section.status();
+  ByteReader prefix_reader = *prefixes_section;
+  const uint32_t prefix_count = prefix_reader.U32();
+  if (!prefix_reader.ok() || prefix_count != n) {
+    return SectionCorrupt(
+        SectionId::kSetPrefixes,
+        "prefix count disagrees with the records section");
+  }
+  auto index = std::make_shared<setsim::PkwiseSearcher::Index>();
+  index->prefixes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    setsim::PrefixInfo info;
+    info.prefix_length = prefix_reader.I32();
+    info.last_rank = prefix_reader.I32();
+    info.class_count = prefix_reader.VecI32();
+    info.class_threshold = prefix_reader.VecI32();
+    info.suffix_threshold = prefix_reader.I32();
+    if (!prefix_reader.ok() ||
+        static_cast<int>(info.class_count.size()) != num_classes + 1 ||
+        static_cast<int>(info.class_threshold.size()) != num_classes + 1) {
+      return SectionCorrupt(SectionId::kSetPrefixes,
+                            "prefix metadata does not match the spec's " +
+                                std::to_string(num_boxes) + " boxes");
+    }
+    index->prefixes.push_back(std::move(info));
+  }
+  s = CheckConsumed(prefix_reader, SectionId::kSetPrefixes);
+  if (!s.ok()) return s;
+
+  auto inverted_section = reader.Section(SectionId::kSetInverted);
+  if (!inverted_section.ok()) return inverted_section.status();
+  ByteReader inverted_reader = *inverted_section;
+  const uint32_t inverted_size = inverted_reader.U32();
+  if (!inverted_reader.ok() || inverted_size != universe) {
+    return SectionCorrupt(
+        SectionId::kSetInverted,
+        "posting-list count disagrees with the dictionary section");
+  }
+  index->inverted.resize(inverted_size);
+  for (uint32_t rank = 0; rank < inverted_size; ++rank) {
+    index->inverted[rank] = inverted_reader.VecI32();
+    if (!inverted_reader.ok()) {
+      return SectionCorrupt(SectionId::kSetInverted, "truncated postings");
+    }
+    for (int id : index->inverted[rank]) {
+      if (id < 0 || id >= static_cast<int>(n)) {
+        return SectionCorrupt(SectionId::kSetInverted,
+                              "posting id outside the collection");
+      }
+    }
+  }
+  s = CheckConsumed(inverted_reader, SectionId::kSetInverted);
+  if (!s.ok()) return s;
+
+  LoadedSet loaded;
+  loaded.collection = std::make_unique<setsim::SetCollection>(
+      setsim::SetCollection::FromBuilt(std::move(dictionary),
+                                       std::move(records),
+                                       static_cast<int>(universe)));
+  loaded.index = std::move(index);
+  return loaded;
+}
+
+// --- Edit distance ---
+
+void SaveEditSections(const std::vector<std::string>& data,
+                      const editdist::EditDistanceSearcher& searcher,
+                      IndexFileWriter& writer) {
+  const editdist::EditDistanceSearcher::Index& index = searcher.index();
+  writer.AddSection(SectionId::kEditStrings, EncodeEditStrings(data));
+  writer.AddSection(SectionId::kEditDictionary,
+                    EncodeEditDictionary(index.dictionary));
+  writer.AddSection(SectionId::kEditProfiles,
+                    EncodeEditProfiles(index.profiles));
+  writer.AddSection(SectionId::kEditPadded, EncodeEditPadded(index.padded));
+  writer.AddSection(SectionId::kEditWindowMasks,
+                    EncodeEditWindowMasks(index.window_masks));
+  writer.AddSection(SectionId::kEditPivotalIndex,
+                    EncodeEditPivotalIndex(index.pivotal_index));
+  writer.AddSection(SectionId::kEditPrefixIndex,
+                    EncodeEditPrefixIndex(index.prefix_index));
+  writer.AddSection(SectionId::kEditLengths,
+                    EncodeEditLengths(index.ids_by_length, index.short_ids));
+}
+
+StatusOr<LoadedEdit> LoadEditSections(const IndexFileReader& reader, int tau,
+                                      int kappa) {
+  auto strings_section = reader.Section(SectionId::kEditStrings);
+  if (!strings_section.ok()) return strings_section.status();
+  ByteReader strings_reader = *strings_section;
+  const uint32_t n = strings_reader.U32();
+  if (!strings_reader.ok() ||
+      n > strings_reader.remaining() / 8) {  // u64 length per string
+    return SectionCorrupt(SectionId::kEditStrings, "bad record count");
+  }
+  auto data = std::make_unique<std::vector<std::string>>();
+  data->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) data->push_back(strings_reader.Str());
+  Status s = CheckConsumed(strings_reader, SectionId::kEditStrings);
+  if (!s.ok()) return s;
+  const int num_records = static_cast<int>(data->size());
+
+  auto dict_section = reader.Section(SectionId::kEditDictionary);
+  if (!dict_section.ok()) return dict_section.status();
+  ByteReader dict_reader = *dict_section;
+  const int file_kappa = dict_reader.I32();
+  if (dict_reader.ok() && file_kappa != kappa) {
+    // The fingerprint already matched, so a differing kappa means the
+    // payload no longer agrees with the header.
+    return SectionCorrupt(SectionId::kEditDictionary,
+                          "gram length disagrees with the spec");
+  }
+  const uint64_t dict_count = dict_reader.Count(12);  // str len + i32 rank
+  if (!dict_reader.ok()) {
+    return SectionCorrupt(SectionId::kEditDictionary, "bad entry count");
+  }
+  std::vector<std::pair<std::string, int>> entries;
+  entries.reserve(static_cast<size_t>(dict_count));
+  for (uint64_t i = 0; i < dict_count; ++i) {
+    std::string gram = dict_reader.Str();
+    const int rank = dict_reader.I32();
+    entries.emplace_back(std::move(gram), rank);
+  }
+  s = CheckConsumed(dict_reader, SectionId::kEditDictionary);
+  if (!s.ok()) return s;
+  auto index = std::make_shared<editdist::EditDistanceSearcher::Index>(
+      editdist::GramDictionary::FromBuilt(kappa, std::move(entries)));
+
+  // Padded strings next — profile gram positions are validated against
+  // their lengths.
+  auto padded_section = reader.Section(SectionId::kEditPadded);
+  if (!padded_section.ok()) return padded_section.status();
+  ByteReader padded_reader = *padded_section;
+  const uint32_t padded_count = padded_reader.U32();
+  if (!padded_reader.ok() || padded_count != n) {
+    return SectionCorrupt(SectionId::kEditPadded,
+                          "row count disagrees with the strings section");
+  }
+  index->padded.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string padded = padded_reader.Str();
+    if (!padded_reader.ok() ||
+        padded.size() != (*data)[i].size() + 2 * (kappa - 1)) {
+      return SectionCorrupt(SectionId::kEditPadded, "bad padded length");
+    }
+    index->padded.push_back(std::move(padded));
+  }
+  s = CheckConsumed(padded_reader, SectionId::kEditPadded);
+  if (!s.ok()) return s;
+
+  auto profiles_section = reader.Section(SectionId::kEditProfiles);
+  if (!profiles_section.ok()) return profiles_section.status();
+  ByteReader profiles_reader = *profiles_section;
+  const uint32_t profile_count = profiles_reader.U32();
+  if (!profiles_reader.ok() || profile_count != n) {
+    return SectionCorrupt(SectionId::kEditProfiles,
+                          "row count disagrees with the strings section");
+  }
+  index->profiles.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    editdist::GramProfile profile;
+    profile.is_short = profiles_reader.U8() != 0;
+    profile.prefix_last_rank = profiles_reader.I32();
+    const int padded_len = static_cast<int>(index->padded[i].size());
+    if (!DecodeGramList(profiles_reader, padded_len, kappa,
+                        &profile.prefix) ||
+        !DecodeGramList(profiles_reader, padded_len, kappa,
+                        &profile.pivotal)) {
+      return SectionCorrupt(SectionId::kEditProfiles,
+                            "gram position outside the padded string");
+    }
+    profile.pivotal_masks = profiles_reader.VecU64();
+    if (!profiles_reader.ok()) {
+      return SectionCorrupt(SectionId::kEditProfiles, "truncated profile");
+    }
+    // A non-short profile carries exactly tau + 1 pivotal grams — the ring
+    // dimension the chain check indexes by.
+    if (!profile.is_short &&
+        (static_cast<int>(profile.pivotal.size()) != tau + 1 ||
+         profile.pivotal_masks.size() != profile.pivotal.size())) {
+      return SectionCorrupt(SectionId::kEditProfiles,
+                            "pivotal gram count does not match tau + 1");
+    }
+    if (profile.is_short &&
+        !(profile.prefix.empty() && profile.pivotal.empty() &&
+          profile.pivotal_masks.empty())) {
+      return SectionCorrupt(SectionId::kEditProfiles,
+                            "short profile carries gram metadata");
+    }
+    index->profiles.push_back(std::move(profile));
+  }
+  s = CheckConsumed(profiles_reader, SectionId::kEditProfiles);
+  if (!s.ok()) return s;
+
+  auto masks_section = reader.Section(SectionId::kEditWindowMasks);
+  if (!masks_section.ok()) return masks_section.status();
+  ByteReader masks_reader = *masks_section;
+  const uint32_t masks_count = masks_reader.U32();
+  if (!masks_reader.ok() || masks_count != n) {
+    return SectionCorrupt(SectionId::kEditWindowMasks,
+                          "row count disagrees with the strings section");
+  }
+  index->window_masks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> masks = masks_reader.VecU64();
+    if (!masks_reader.ok() || masks.size() != index->padded[i].size()) {
+      return SectionCorrupt(SectionId::kEditWindowMasks,
+                            "mask count disagrees with the padded string");
+    }
+    index->window_masks.push_back(std::move(masks));
+  }
+  s = CheckConsumed(masks_reader, SectionId::kEditWindowMasks);
+  if (!s.ok()) return s;
+
+  auto pivotal_section = reader.Section(SectionId::kEditPivotalIndex);
+  if (!pivotal_section.ok()) return pivotal_section.status();
+  ByteReader pivotal_reader = *pivotal_section;
+  const uint64_t pivotal_keys = pivotal_reader.Count(12);
+  if (!pivotal_reader.ok()) {
+    return SectionCorrupt(SectionId::kEditPivotalIndex, "bad key count");
+  }
+  for (uint64_t k = 0; k < pivotal_keys; ++k) {
+    const int rank = pivotal_reader.I32();
+    const uint64_t count = pivotal_reader.Count(12);  // 3 i32 per posting
+    if (!pivotal_reader.ok()) {
+      return SectionCorrupt(SectionId::kEditPivotalIndex,
+                            "bad posting count");
+    }
+    auto& postings = index->pivotal_index[rank];
+    if (!postings.empty()) {
+      return SectionCorrupt(SectionId::kEditPivotalIndex, "duplicate key");
+    }
+    postings.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      editdist::EditDistanceSearcher::PivotalPosting p;
+      p.id = pivotal_reader.I32();
+      p.pivotal_index = pivotal_reader.I32();
+      p.position = pivotal_reader.I32();
+      if (!pivotal_reader.ok() || p.id < 0 || p.id >= num_records ||
+          index->profiles[p.id].is_short || p.pivotal_index < 0 ||
+          p.pivotal_index >=
+              static_cast<int>(index->profiles[p.id].pivotal.size())) {
+        return SectionCorrupt(SectionId::kEditPivotalIndex,
+                              "posting outside the collection");
+      }
+      postings.push_back(p);
+    }
+  }
+  s = CheckConsumed(pivotal_reader, SectionId::kEditPivotalIndex);
+  if (!s.ok()) return s;
+
+  auto prefix_section = reader.Section(SectionId::kEditPrefixIndex);
+  if (!prefix_section.ok()) return prefix_section.status();
+  ByteReader prefix_reader = *prefix_section;
+  const uint64_t prefix_keys = prefix_reader.Count(12);
+  if (!prefix_reader.ok()) {
+    return SectionCorrupt(SectionId::kEditPrefixIndex, "bad key count");
+  }
+  for (uint64_t k = 0; k < prefix_keys; ++k) {
+    const int rank = prefix_reader.I32();
+    const uint64_t count = prefix_reader.Count(8);  // 2 i32 per posting
+    if (!prefix_reader.ok()) {
+      return SectionCorrupt(SectionId::kEditPrefixIndex,
+                            "bad posting count");
+    }
+    auto& postings = index->prefix_index[rank];
+    if (!postings.empty()) {
+      return SectionCorrupt(SectionId::kEditPrefixIndex, "duplicate key");
+    }
+    postings.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      editdist::EditDistanceSearcher::PrefixPosting p;
+      p.id = prefix_reader.I32();
+      p.position = prefix_reader.I32();
+      if (!prefix_reader.ok() || p.id < 0 || p.id >= num_records) {
+        return SectionCorrupt(SectionId::kEditPrefixIndex,
+                              "posting outside the collection");
+      }
+      postings.push_back(p);
+    }
+  }
+  s = CheckConsumed(prefix_reader, SectionId::kEditPrefixIndex);
+  if (!s.ok()) return s;
+
+  auto lengths_section = reader.Section(SectionId::kEditLengths);
+  if (!lengths_section.ok()) return lengths_section.status();
+  ByteReader lengths_reader = *lengths_section;
+  const uint64_t length_keys = lengths_reader.Count(12);
+  if (!lengths_reader.ok()) {
+    return SectionCorrupt(SectionId::kEditLengths, "bad bucket count");
+  }
+  for (uint64_t k = 0; k < length_keys; ++k) {
+    const int length = lengths_reader.I32();
+    std::vector<int> ids = lengths_reader.VecI32();
+    if (!lengths_reader.ok()) {
+      return SectionCorrupt(SectionId::kEditLengths, "truncated bucket");
+    }
+    for (int id : ids) {
+      if (id < 0 || id >= num_records) {
+        return SectionCorrupt(SectionId::kEditLengths,
+                              "id outside the collection");
+      }
+    }
+    auto& bucket = index->ids_by_length[length];
+    if (!bucket.empty()) {
+      return SectionCorrupt(SectionId::kEditLengths, "duplicate bucket");
+    }
+    bucket = std::move(ids);
+  }
+  index->short_ids = lengths_reader.VecI32();
+  s = CheckConsumed(lengths_reader, SectionId::kEditLengths);
+  if (!s.ok()) return s;
+  for (int id : index->short_ids) {
+    if (id < 0 || id >= num_records) {
+      return SectionCorrupt(SectionId::kEditLengths,
+                            "short id outside the collection");
+    }
+  }
+
+  LoadedEdit loaded;
+  loaded.data = std::move(data);
+  loaded.index = std::move(index);
+  return loaded;
+}
+
+// --- Graphs ---
+
+void SaveGraphSections(const std::vector<graphed::Graph>& data,
+                       const graphed::GraphSearcher& searcher,
+                       IndexFileWriter& writer) {
+  const graphed::GraphSearcher::State& state = searcher.state();
+  writer.AddSection(SectionId::kGraphData, EncodeGraphData(data));
+  writer.AddSection(SectionId::kGraphParts, EncodeGraphParts(state.parts));
+  writer.AddSection(SectionId::kGraphHistograms,
+                    EncodeGraphHistograms(state.histograms));
+}
+
+StatusOr<LoadedGraph> LoadGraphSections(const IndexFileReader& reader,
+                                        int tau) {
+  auto data_section = reader.Section(SectionId::kGraphData);
+  if (!data_section.ok()) return data_section.status();
+  ByteReader data_reader = *data_section;
+  const uint32_t n = data_reader.U32();
+  if (!data_reader.ok() ||
+      n > data_reader.remaining() / 12) {  // labels vec + edge count
+    return SectionCorrupt(SectionId::kGraphData, "bad graph count");
+  }
+  auto data = std::make_unique<std::vector<graphed::Graph>>();
+  data->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    graphed::Graph g;
+    if (!DecodeGraph(data_reader, &g)) {
+      return SectionCorrupt(SectionId::kGraphData, "malformed graph");
+    }
+    data->push_back(std::move(g));
+  }
+  Status s = CheckConsumed(data_reader, SectionId::kGraphData);
+  if (!s.ok()) return s;
+
+  auto parts_section = reader.Section(SectionId::kGraphParts);
+  if (!parts_section.ok()) return parts_section.status();
+  ByteReader parts_reader = *parts_section;
+  const uint32_t parts_count = parts_reader.U32();
+  if (!parts_reader.ok() || parts_count != n) {
+    return SectionCorrupt(SectionId::kGraphParts,
+                          "row count disagrees with the data section");
+  }
+  auto state = std::make_shared<graphed::GraphSearcher::State>();
+  state->parts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t num_parts = parts_reader.U32();
+    // The Pars scan indexes parts[0 .. tau] — exactly tau + 1 per graph.
+    if (!parts_reader.ok() || static_cast<int>(num_parts) != tau + 1) {
+      return SectionCorrupt(SectionId::kGraphParts,
+                            "part count does not match tau + 1");
+    }
+    std::vector<graphed::Part> graph_parts;
+    graph_parts.reserve(num_parts);
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      graphed::Part part;
+      if (!DecodeGraph(parts_reader, &part.graph)) {
+        return SectionCorrupt(SectionId::kGraphParts, "malformed part");
+      }
+      const uint64_t half_count = parts_reader.Count(8);  // 2 i32 per half
+      if (!parts_reader.ok()) {
+        return SectionCorrupt(SectionId::kGraphParts, "bad half-edge count");
+      }
+      part.half_edges.reserve(static_cast<size_t>(half_count));
+      for (uint64_t h = 0; h < half_count; ++h) {
+        const int v = parts_reader.I32();
+        const int label = parts_reader.I32();
+        if (!parts_reader.ok() || v < 0 || v >= part.graph.num_vertices()) {
+          return SectionCorrupt(SectionId::kGraphParts,
+                                "half-edge endpoint outside the part");
+        }
+        part.half_edges.emplace_back(v, label);
+      }
+      graph_parts.push_back(std::move(part));
+    }
+    state->parts.push_back(std::move(graph_parts));
+  }
+  s = CheckConsumed(parts_reader, SectionId::kGraphParts);
+  if (!s.ok()) return s;
+
+  auto hist_section = reader.Section(SectionId::kGraphHistograms);
+  if (!hist_section.ok()) return hist_section.status();
+  ByteReader hist_reader = *hist_section;
+  const uint32_t hist_count = hist_reader.U32();
+  if (!hist_reader.ok() || hist_count != n) {
+    return SectionCorrupt(SectionId::kGraphHistograms,
+                          "row count disagrees with the data section");
+  }
+  state->histograms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    graphed::GraphSearcher::LabelHistogram h;
+    h.vertex_counts = hist_reader.VecI32();
+    h.edge_counts = hist_reader.VecI32();
+    h.num_vertices = hist_reader.I32();
+    h.num_edges = hist_reader.I32();
+    if (!hist_reader.ok()) {
+      return SectionCorrupt(SectionId::kGraphHistograms,
+                            "truncated histogram");
+    }
+    state->histograms.push_back(std::move(h));
+  }
+  s = CheckConsumed(hist_reader, SectionId::kGraphHistograms);
+  if (!s.ok()) return s;
+
+  LoadedGraph loaded;
+  loaded.data = std::move(data);
+  loaded.state = std::move(state);
+  return loaded;
+}
+
+}  // namespace pigeonring::storage

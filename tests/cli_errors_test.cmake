@@ -89,4 +89,32 @@ expect_fail(1 "InvalidArgument.*Jaccard"
 expect_fail(1 "InvalidArgument"  # bit-vector file is not a token-set file
   search sets --data "${dataset}" --tau 0.8)
 
+# --- persisted-index errors -----------------------------------------------
+# Exactly one of --data / --index must be given (usage, exit 2); a bad or
+# mismatched index surfaces the storage layer's typed Status (exit 1).
+expect_fail(2 "exactly one of --data or --index"
+  search hamming --tau 8)
+expect_fail(2 "exactly one of --data or --index"
+  search hamming --data "${dataset}" --index "${WORK_DIR}/x.pgri" --tau 8)
+expect_fail(2 "unknown flag --index"  # build writes an index, never reads one
+  build hamming --index "${WORK_DIR}/x.pgri" --out "${WORK_DIR}/y.pgri"
+  --tau 8)
+
+execute_process(
+  COMMAND ${PIGEONRING_CLI} build hamming --data "${dataset}"
+          --out "${WORK_DIR}/vectors.pgri" --tau 8
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "build failed (rc=${rc})")
+endif()
+
+expect_fail(1 "NotFound"
+  search hamming --index "${WORK_DIR}/missing.pgri" --tau 8)
+expect_fail(1 "InvalidArgument"  # a raw dataset is not an index file
+  search hamming --index "${dataset}" --tau 8)
+expect_fail(1 "FailedPrecondition.*tau"  # tau is baked into the index
+  search hamming --index "${WORK_DIR}/vectors.pgri" --tau 6)
+expect_fail(1 "FailedPrecondition"  # wrong domain for this index
+  search strings --index "${WORK_DIR}/vectors.pgri" --tau 2)
+
 message(STATUS "all CLI error paths return their documented exit codes")

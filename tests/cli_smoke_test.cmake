@@ -74,6 +74,76 @@ run_cli(search graphs --data "${WORK_DIR}/graphs.ds" --tau 2 --chain 2
         --queries 5)
 run_cli(join graphs --data "${WORK_DIR}/graphs.ds" --tau 1 --chain 2)
 
+# build / serve-from-index: `build` persists each domain's index once, and
+# search/join served with --index must print byte-identical results and
+# deterministic counters to the same command reading --data (only timing
+# lines may differ). This is the CLI face of the storage round-trip
+# guarantee.
+function(expect_index_matches_data)
+  cmake_parse_arguments(IDX "" "LABEL" "DATA_ARGS;INDEX_ARGS" ${ARGN})
+  run_cli(${IDX_DATA_ARGS})
+  strip_nondeterministic("${last_output}" from_data)
+  run_cli(${IDX_INDEX_ARGS})
+  strip_nondeterministic("${last_output}" from_index)
+  if(NOT from_data STREQUAL from_index)
+    message(FATAL_ERROR
+      "${IDX_LABEL}: --index diverged from --data\n--data:\n${from_data}\n--index:\n${from_index}")
+  endif()
+  message(STATUS "${IDX_LABEL}: --index matches --data exactly")
+endfunction()
+
+run_cli(build hamming --data "${dataset}" --out "${WORK_DIR}/vectors.pgri"
+        --tau 8)
+expect_index_matches_data(LABEL "hamming search"
+  DATA_ARGS search hamming --data "${dataset}" --tau 8 --chain 2
+    --queries 10 --stats kv
+  INDEX_ARGS search hamming --index "${WORK_DIR}/vectors.pgri" --tau 8
+    --chain 2 --queries 10 --stats kv)
+expect_index_matches_data(LABEL "hamming join"
+  DATA_ARGS join hamming --data "${dataset}" --tau 8 --chain 2
+    --stats kv --print 1000000
+  INDEX_ARGS join hamming --index "${WORK_DIR}/vectors.pgri" --tau 8
+    --chain 2 --stats kv --print 1000000)
+
+run_cli(build sets --data "${WORK_DIR}/sets.ds" --out "${WORK_DIR}/sets.pgri"
+        --tau 0.7 --measure jaccard)
+expect_index_matches_data(LABEL "sets search"
+  DATA_ARGS search sets --data "${WORK_DIR}/sets.ds" --tau 0.7 --chain 2
+    --queries 10 --stats kv
+  INDEX_ARGS search sets --index "${WORK_DIR}/sets.pgri" --tau 0.7 --chain 2
+    --queries 10 --stats kv)
+expect_index_matches_data(LABEL "sets join"
+  DATA_ARGS join sets --data "${WORK_DIR}/sets.ds" --tau 0.7 --chain 2
+    --stats kv --print 1000000
+  INDEX_ARGS join sets --index "${WORK_DIR}/sets.pgri" --tau 0.7 --chain 2
+    --stats kv --print 1000000)
+
+run_cli(build strings --data "${WORK_DIR}/strings.ds"
+        --out "${WORK_DIR}/strings.pgri" --tau 2 --kappa 2)
+expect_index_matches_data(LABEL "strings search"
+  DATA_ARGS search strings --data "${WORK_DIR}/strings.ds" --tau 2 --chain 2
+    --queries 10 --kappa 2 --stats kv
+  INDEX_ARGS search strings --index "${WORK_DIR}/strings.pgri" --tau 2
+    --chain 2 --queries 10 --kappa 2 --stats kv)
+expect_index_matches_data(LABEL "strings join"
+  DATA_ARGS join strings --data "${WORK_DIR}/strings.ds" --tau 2 --chain 2
+    --kappa 2 --stats kv --print 1000000
+  INDEX_ARGS join strings --index "${WORK_DIR}/strings.pgri" --tau 2
+    --chain 2 --kappa 2 --stats kv --print 1000000)
+
+run_cli(build graphs --data "${WORK_DIR}/graphs.ds"
+        --out "${WORK_DIR}/graphs.pgri" --tau 2)
+expect_index_matches_data(LABEL "graphs search"
+  DATA_ARGS search graphs --data "${WORK_DIR}/graphs.ds" --tau 2 --chain 2
+    --queries 5 --stats kv
+  INDEX_ARGS search graphs --index "${WORK_DIR}/graphs.pgri" --tau 2
+    --chain 2 --queries 5 --stats kv)
+expect_index_matches_data(LABEL "graphs join"
+  DATA_ARGS join graphs --data "${WORK_DIR}/graphs.ds" --tau 2 --chain 2
+    --stats kv --print 1000000
+  INDEX_ARGS join graphs --index "${WORK_DIR}/graphs.pgri" --tau 2
+    --chain 2 --stats kv --print 1000000)
+
 # Parallel join determinism: --threads 2 must reproduce the single-threaded
 # pairs and counters exactly.
 run_cli(join hamming --data "${dataset}" --tau 4 --chain 2

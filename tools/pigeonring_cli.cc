@@ -1,17 +1,31 @@
-// pigeonring_cli — generate datasets, run thresholded similarity searches,
-// and run self-joins from the command line.
+// pigeonring_cli — generate datasets, build persistent indexes, run
+// thresholded similarity searches, and run self-joins from the command
+// line.
 //
 // Usage:
-//   pigeonring_cli gen <vectors|sets|strings|graphs> --out FILE
+//   pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE
 //       [--n N] [--seed S] [--dim D] [--bias B] [--avg A]
-//   pigeonring_cli search <hamming|sets|strings|graphs> --data FILE
+//   pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE
+//       --out INDEX --tau T [--measure jaccard|overlap] [--kappa K]
+//   pigeonring_cli search <hamming|sets|strings|graphs>
+//       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
 //       [--kappa K] [--alloc uniform|costmodel] [--threads N]
 //       [--clients N] [--stats kv]
-//   pigeonring_cli join <hamming|sets|strings|graphs> --data FILE
+//   pigeonring_cli join <hamming|sets|strings|graphs>
+//       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
 //       [--alloc uniform|costmodel] [--threads N] [--clients N]
 //       [--stats kv] [--print N]
+//
+// `build` indexes a raw dataset once and persists the built state in the
+// storage layer's container format (storage/index_file.h); `search` /
+// `join` with --index serve from such a file without re-deriving anything
+// — the spec flags must repeat the build-relevant values (--tau, and
+// --measure / --kappa where they apply), or the library rejects the open
+// with a typed kFailedPrecondition. Query-time flags (--chain, --alloc,
+// --threads, --clients) are free to differ from build time. Results are
+// byte-identical between --data and --index serving.
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
@@ -28,10 +42,10 @@
 // search, stat.served_queries / stat.wall_millis is the throughput —
 // with N clients the wall covers N executions of the batch).
 //
-// Flag parsing is strict: unknown flags, flags that do not apply to the
-// given command/domain, and --stats values other than kv are rejected with
-// exit code 2. Invalid specs and unreadable datasets surface the library's
-// typed Status errors with exit code 1.
+// Exit codes: 0 on success; 1 when the library reports a typed Status
+// error (invalid spec, unreadable dataset, corrupt or mismatched index
+// file) or concurrent clients diverge; 2 for usage errors (unknown
+// command, unknown or misplaced flags, malformed numeric values).
 
 #include <cerrno>
 #include <cstdio>
@@ -67,12 +81,17 @@ void Usage() {
       "  pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE\n"
       "                        [--n N] [--seed S] [--dim D] [--bias B]\n"
       "                        [--avg A]\n"
-      "  pigeonring_cli search <hamming|sets|strings|graphs> --data FILE\n"
+      "  pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE\n"
+      "                        --out INDEX --tau T\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "  pigeonring_cli search <hamming|sets|strings|graphs>\n"
+      "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L] [--queries N] [--seed S]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--alloc uniform|costmodel]\n"
       "                        [--threads N] [--clients N] [--stats kv]\n"
-      "  pigeonring_cli join   <hamming|sets|strings|graphs> --data FILE\n"
+      "  pigeonring_cli join   <hamming|sets|strings|graphs>\n"
+      "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--alloc uniform|costmodel]\n"
@@ -193,14 +212,35 @@ std::set<std::string> AllowedFlags(const std::string& command,
     }
     return allowed;
   }
-  std::set<std::string> allowed = {"data",    "tau",     "chain", "seed",
-                                   "threads", "clients", "stats"};
+  if (command == "build") {
+    std::set<std::string> allowed = {"data", "out", "tau"};
+    if (kind == "sets") allowed.insert("measure");
+    if (kind == "strings") allowed.insert("kappa");
+    return allowed;
+  }
+  std::set<std::string> allowed = {"data",    "index",   "tau",   "chain",
+                                   "seed",    "threads", "clients", "stats"};
   if (command == "search") allowed.insert("queries");
   if (command == "join") allowed.insert("print");
   if (kind == "hamming") allowed.insert("alloc");
   if (kind == "sets") allowed.insert("measure");
   if (kind == "strings") allowed.insert("kappa");
   return allowed;
+}
+
+/// Resolves the (--data FILE | --index INDEX) alternative of search/join
+/// into an opened Db: --data builds from raw, --index bulk-loads a
+/// persisted index (strictly — a non-index file under --index is an
+/// error, not a fallback to the dataset loaders).
+api::Db OpenFromFlags(const api::IndexSpec& spec, const Flags& flags) {
+  const std::string data = flags.Get("data", "");
+  const std::string index = flags.Get("index", "");
+  if (data.empty() == index.empty()) {
+    std::fprintf(stderr, "exactly one of --data or --index is required\n");
+    std::exit(2);
+  }
+  if (!index.empty()) return Unwrap(api::Db::OpenIndex(spec, index));
+  return Unwrap(api::Db::Open(spec, data));
 }
 
 /// True iff --stats kv was requested; any other --stats value exits 2.
@@ -249,6 +289,29 @@ int RunGen(const std::string& kind, const Flags& flags) {
     Usage();
   }
   std::printf("wrote %d objects to %s\n", n, out.c_str());
+  return 0;
+}
+
+int RunBuild(const std::string& kind, const Flags& flags) {
+  api::IndexSpec spec;
+  auto domain = api::ParseDomain(kind);
+  if (!domain.ok()) Usage();
+  spec.domain = domain.value();
+  spec.tau = flags.RequireDouble("tau");
+  spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  const std::string measure = flags.Get("measure", "jaccard");
+  if (measure == "jaccard") {
+    spec.measure = setsim::SetMeasure::kJaccard;
+  } else if (measure == "overlap") {
+    spec.measure = setsim::SetMeasure::kOverlap;
+  } else {
+    std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
+    std::exit(2);
+  }
+  const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  const std::string out = flags.Require("out");
+  Check(db.Save(out));
+  std::printf("indexed %d objects into %s\n", db.num_records(), out.c_str());
   return 0;
 }
 
@@ -348,7 +411,7 @@ int RunSearch(const std::string& kind, const Flags& flags) {
   const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 1);
 
-  const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  const api::Db db = OpenFromFlags(spec, flags);
   if (db.num_records() == 0) {
     std::fprintf(stderr, "empty dataset\n");
     return 1;
@@ -411,7 +474,7 @@ int RunJoin(const std::string& kind, const Flags& flags) {
   const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 2);
 
-  const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
+  const api::Db db = OpenFromFlags(spec, flags);
   double wall_millis = 0;
   const api::JoinResult join = RunClients<api::JoinResult>(
       db, clients,
@@ -459,9 +522,13 @@ int main(int argc, char** argv) {
   if (argc < 3) Usage();
   const std::string command = argv[1];
   const std::string kind = argv[2];
-  if (command != "gen" && command != "search" && command != "join") Usage();
+  if (command != "gen" && command != "build" && command != "search" &&
+      command != "join") {
+    Usage();
+  }
   const Flags flags(argc, argv, 3, AllowedFlags(command, kind));
   if (command == "gen") return RunGen(kind, flags);
+  if (command == "build") return RunBuild(kind, flags);
   if (command == "search") return RunSearch(kind, flags);
   return RunJoin(kind, flags);
 }
