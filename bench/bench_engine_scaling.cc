@@ -422,6 +422,96 @@ ClientsPanel RunClientsPanel() {
   return panel;
 }
 
+// Fast-path panel: the case-decomposition fast path for fixed-length
+// edit distance vs the pivotal q-gram filter, same dataset, one thread,
+// best of `kRepeats` self-joins each. Parity (identical pair lists) is
+// recorded rather than asserted here so the JSON always carries the
+// verdict — main() exits nonzero after writing it if parity failed. The
+// candidate reduction is the pivotal filter's verified-candidate count
+// over the fast path's: how much banded-DP work the decomposition saves.
+struct FastPathPanel {
+  int records = 0;
+  int length = 0;
+  int tau = 0;
+  int64_t pairs = 0;
+  double fast_millis = 0;
+  double pivotal_millis = 0;
+  double speedup = 0;
+  int64_t fast_candidates = 0;
+  int64_t pivotal_candidates = 0;
+  double candidate_reduction = 0;
+  bool parity = false;
+};
+
+FastPathPanel RunFastPathPanel() {
+  datagen::StringConfig config;
+  config.num_records = bench::Scaled(20000);
+  config.fixed_length = 16;
+  config.duplicate_fraction = 0.35;
+  config.max_perturb_edits = 2;
+  config.seed = 9007;
+  std::printf("[fast path] generating %d fixed-length strings...\n",
+              config.num_records);
+  const auto records = datagen::GenerateStrings(config);
+
+  api::IndexSpec fast_spec;
+  fast_spec.domain = api::Domain::kEdit;
+  fast_spec.tau = 2;
+  fast_spec.chain_length = 3;
+  fast_spec.edit_fast_path = api::EditFastPath::kOn;
+  api::IndexSpec pivotal_spec = fast_spec;
+  pivotal_spec.edit_fast_path = api::EditFastPath::kOff;
+  api::Db fast_db = bench::BenchUnwrap(
+      api::Db::Open(fast_spec, api::Dataset(records)), "open fast path");
+  api::Db pivotal_db = bench::BenchUnwrap(
+      api::Db::Open(pivotal_spec, api::Dataset(records)), "open pivotal");
+
+  FastPathPanel panel;
+  panel.records = static_cast<int>(records.size());
+  panel.length = config.fixed_length;
+  panel.tau = static_cast<int>(fast_spec.tau);
+  const int kRepeats = 3;
+  api::RunOptions options;
+  options.num_threads = 1;
+  std::vector<engine::IdPair> fast_pairs, pivotal_pairs;
+  for (int r = 0; r < kRepeats; ++r) {
+    auto fast = bench::BenchUnwrap(fast_db.SelfJoin(options), "fast join");
+    panel.fast_millis = r == 0 ? fast.stats.total_millis
+                               : std::min(panel.fast_millis,
+                                          fast.stats.total_millis);
+    panel.fast_candidates = fast.stats.candidates;
+    fast_pairs = std::move(fast.pairs);
+    auto pivotal =
+        bench::BenchUnwrap(pivotal_db.SelfJoin(options), "pivotal join");
+    panel.pivotal_millis = r == 0 ? pivotal.stats.total_millis
+                                  : std::min(panel.pivotal_millis,
+                                             pivotal.stats.total_millis);
+    panel.pivotal_candidates = pivotal.stats.candidates;
+    pivotal_pairs = std::move(pivotal.pairs);
+  }
+  panel.pairs = static_cast<int64_t>(fast_pairs.size());
+  panel.parity = fast_pairs == pivotal_pairs;
+  panel.speedup = panel.pivotal_millis / std::max(1e-9, panel.fast_millis);
+  panel.candidate_reduction =
+      static_cast<double>(panel.pivotal_candidates) /
+      std::max<int64_t>(1, panel.fast_candidates);
+
+  Table out("fast-path panel: case decomposition vs pivotal q-gram filter "
+            "(fixed-length strings self-join, 1 thread, best of 3)",
+            {"records", "length", "tau", "pairs", "pivotal (ms)", "fast (ms)",
+             "speedup", "cand. reduction", "parity"});
+  out.AddRow({Table::Int(panel.records), Table::Int(panel.length),
+              Table::Int(panel.tau), Table::Int(panel.pairs),
+              Table::Num(panel.pivotal_millis, 1),
+              Table::Num(panel.fast_millis, 1),
+              Table::Num(panel.speedup, 2) + "x",
+              Table::Num(panel.candidate_reduction, 1) + "x",
+              panel.parity ? "ok" : "DIVERGED"});
+  out.Print();
+  std::printf("\n");
+  return panel;
+}
+
 // Storage panel: the persistent index format, priced per domain. Each row
 // builds an index from raw records (the cold path a saved index replaces),
 // saves it (serialization throughput), and re-opens it (open latency: file
@@ -575,7 +665,8 @@ void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
                const KernelPanel& kernel, const FacadePanel& facade,
                const ClientsPanel& clients,
-               const std::vector<StorageRow>& storage) {
+               const std::vector<StorageRow>& storage,
+               const FastPathPanel& fastpath) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -623,15 +714,40 @@ void WriteJson(const std::string& path,
                  row.file_mb, static_cast<long long>(row.pairs));
   }
   std::fprintf(f, "],\n");
+  std::fprintf(f,
+               "  \"strings_fastpath_panel\": {\"records\": %d, \"length\": "
+               "%d, \"tau\": %d, \"pairs\": %lld, \"pivotal_millis\": %.3f, "
+               "\"fast_millis\": %.3f, \"speedup\": %.3f, "
+               "\"pivotal_candidates\": %lld, \"fast_candidates\": %lld, "
+               "\"candidate_reduction\": %.3f, \"parity\": %s},\n",
+               fastpath.records, fastpath.length, fastpath.tau,
+               static_cast<long long>(fastpath.pairs),
+               fastpath.pivotal_millis, fastpath.fast_millis,
+               fastpath.speedup,
+               static_cast<long long>(fastpath.pivotal_candidates),
+               static_cast<long long>(fastpath.fast_candidates),
+               fastpath.candidate_reduction,
+               fastpath.parity ? "true" : "false");
+  // Per-timing speedups are vs the sequential row of the same domain;
+  // `oversubscribed` marks rows asking for more threads than the machine
+  // has, where flat speedup is expected rather than a regression.
+  const unsigned hardware = std::thread::hardware_concurrency();
   std::fprintf(f, "  \"domains\": [\n");
   for (size_t d = 0; d < results.size(); ++d) {
     const DomainResult& r = results[d];
     std::fprintf(f, "    {\"name\": \"%s\", \"pairs\": %lld, \"timings\": [",
                  r.name.c_str(), static_cast<long long>(r.pairs));
+    const double base_millis =
+        r.timings.empty() ? 0 : r.timings.front().millis;
     for (size_t t = 0; t < r.timings.size(); ++t) {
-      std::fprintf(f, "%s{\"threads\": %d, \"millis\": %.3f}",
-                   t == 0 ? "" : ", ", r.timings[t].threads,
-                   r.timings[t].millis);
+      std::fprintf(
+          f,
+          "%s{\"threads\": %d, \"millis\": %.3f, "
+          "\"speedup_vs_1thread\": %.3f, \"oversubscribed\": %s}",
+          t == 0 ? "" : ", ", r.timings[t].threads, r.timings[t].millis,
+          base_millis / std::max(1e-9, r.timings[t].millis),
+          static_cast<unsigned>(r.timings[t].threads) > hardware ? "true"
+                                                                 : "false");
     }
     std::fprintf(f, "]}%s\n", d + 1 == results.size() ? "" : ",");
   }
@@ -659,8 +775,17 @@ int main(int argc, char** argv) {
   const FacadePanel facade = RunFacadePanel();
   const ClientsPanel clients = RunClientsPanel();
   const std::vector<StorageRow> storage = RunStoragePanel();
+  const FastPathPanel fastpath = RunFastPathPanel();
   if (!json_path.empty()) {
-    WriteJson(json_path, results, kernel, facade, clients, storage);
+    WriteJson(json_path, results, kernel, facade, clients, storage,
+              fastpath);
+  }
+  // The parity verdict is written to the JSON above even on failure so
+  // downstream tooling sees "parity": false rather than a missing file.
+  if (!fastpath.parity) {
+    std::fprintf(stderr,
+                 "FATAL: fast-path self-join diverged from pivotal\n");
+    return 1;
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "api/internal.h"
+#include "core/advisor.h"
+#include "editdist/casedec.h"
 #include "editdist/pivotal.h"
 #include "engine/engine.h"
 #include "graphed/pars.h"
@@ -176,6 +178,36 @@ class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
   std::unique_ptr<std::vector<std::string>> data_;
 };
 
+class EditFastModel
+    : public ModelBase<EditFastModel, engine::EditFastAdapter> {
+ public:
+  EditFastModel(std::unique_ptr<std::vector<std::string>> data,
+                engine::EditFastAdapter adapter)
+      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+
+  Status ValidateQuery(const Query& query) const override {
+    if (!std::holds_alternative<std::string>(query)) {
+      return QueryDomainError(QueryDomain(query), Domain::kEdit);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<Query> RecordQuery(int id) const override {
+    return Query((*data_)[id]);
+  }
+
+  const std::string& ToDomain(const Query& query) const {
+    return std::get<std::string>(query);
+  }
+
+  void SaveSections(storage::IndexFileWriter& writer) const override {
+    storage::SaveEditFastSections(*data_, adapter_.searcher(), writer);
+  }
+
+ private:
+  std::unique_ptr<std::vector<std::string>> data_;
+};
+
 class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
  public:
   GraphModel(std::unique_ptr<std::vector<graphed::Graph>> data,
@@ -281,10 +313,49 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildSet(
       new SetModel(std::move(collection), std::move(adapter)));
 }
 
+/// Resolves edit_fast_path=kAuto against the dataset's shape (kOn / kOff
+/// pass through, except that kOn on an ineligible collection is a typed
+/// error). On return `spec.edit_fast_path` is kOn or kOff — the resolved
+/// value is what Db::spec() reports and what Save persists.
+Status ResolveEditFastPath(IndexSpec& spec,
+                           const std::vector<std::string>& data) {
+  const int uniform_length = editdist::CaseDecSearcher::UniformLength(data);
+  switch (spec.edit_fast_path) {
+    case EditFastPath::kOff:
+      return Status::Ok();
+    case EditFastPath::kOn:
+      if (uniform_length < 0) {
+        return Status::InvalidArgument(
+            "edit_fast_path=on requires a fixed-length collection: every "
+            "string must share one length in [1, " +
+            std::to_string(editdist::CaseDecSearcher::kMaxLength) + "]");
+      }
+      return Status::Ok();
+    case EditFastPath::kAuto:
+      break;
+  }
+  const core::EditFastPathAdvice advice = core::AdviseEditFastPath(
+      static_cast<int64_t>(data.size()), uniform_length,
+      static_cast<int>(spec.tau));
+  spec.edit_fast_path =
+      advice.use_fast_path ? EditFastPath::kOn : EditFastPath::kOff;
+  return Status::Ok();
+}
+
 StatusOr<std::unique_ptr<const AnySearcher>> BuildEdit(
-    const IndexSpec& spec, std::vector<std::string> strings) {
+    IndexSpec& spec, std::vector<std::string> strings) {
   auto data =
       std::make_unique<std::vector<std::string>>(std::move(strings));
+  Status resolved = ResolveEditFastPath(spec, *data);
+  if (!resolved.ok()) return resolved;
+  if (spec.edit_fast_path == EditFastPath::kOn) {
+    editdist::CaseDecSearcher searcher(data.get(),
+                                       static_cast<int>(spec.tau));
+    engine::EditFastAdapter adapter(std::move(searcher), data.get(),
+                                    spec.chain_length);
+    return std::unique_ptr<const AnySearcher>(
+        new EditFastModel(std::move(data), std::move(adapter)));
+  }
   editdist::EditDistanceSearcher searcher(
       data.get(), static_cast<int>(spec.tau), spec.kappa);
   const editdist::EditFilter filter = RingEnabled(spec)
@@ -316,7 +387,11 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildGraph(
 // The kSpec section stores the canonical build-relevant spec fields so a
 // mismatched open can name the exact disagreeing field instead of only
 // failing the header fingerprint check. Encoding: u32 domain, f64 tau,
-// i32 num_parts, u32 measure, i32 num_boxes, i32 kappa, u64 partition_seed.
+// i32 num_parts, u32 measure, i32 num_boxes, i32 kappa, u64 partition_seed,
+// u32 fast_path_built (1 iff the edit domain persisted the
+// case-decomposition index instead of the gram machinery — a structural
+// fact about the file, deliberately outside BuildFingerprint so either
+// pipeline's index satisfies the same fingerprint).
 
 void AddSpecSection(const IndexSpec& spec, storage::IndexFileWriter& writer) {
   storage::ByteWriter w;
@@ -327,6 +402,10 @@ void AddSpecSection(const IndexSpec& spec, storage::IndexFileWriter& writer) {
   w.I32(spec.num_boxes);
   w.I32(spec.kappa);
   w.U64(spec.partition_seed);
+  w.U32(spec.domain == Domain::kEdit &&
+                spec.edit_fast_path == EditFastPath::kOn
+            ? 1
+            : 0);
   writer.AddSection(storage::SectionId::kSpec, std::move(w).Take());
 }
 
@@ -339,8 +418,11 @@ Status SpecMismatch(const std::string& field, const std::string& built,
 }
 
 /// Cross-checks the opening spec against the file's kSpec section,
-/// comparing only the fields that shaped the persisted structures.
-Status CheckSpecSection(const IndexSpec& spec,
+/// comparing only the fields that shaped the persisted structures. For the
+/// edit domain this also *resolves* `spec.edit_fast_path`: kAuto adopts
+/// whatever index the file actually holds, while an explicit kOn / kOff
+/// that contradicts it is a named mismatch.
+Status CheckSpecSection(IndexSpec& spec,
                         const storage::IndexFileReader& reader) {
   auto section = reader.Section(storage::SectionId::kSpec);
   if (!section.ok()) return section.status();
@@ -352,6 +434,7 @@ Status CheckSpecSection(const IndexSpec& spec,
   const int num_boxes = r.I32();
   const int kappa = r.I32();
   const uint64_t partition_seed = r.U64();
+  const uint32_t fast_path_built = r.U32();
   if (!r.AtEnd()) {
     return Status::DataLoss("index section 1 corrupt: malformed spec");
   }
@@ -384,12 +467,21 @@ Status CheckSpecSection(const IndexSpec& spec,
                             std::to_string(spec.num_boxes));
       }
       break;
-    case Domain::kEdit:
+    case Domain::kEdit: {
       if (kappa != spec.kappa) {
         return SpecMismatch("kappa", std::to_string(kappa),
                             std::to_string(spec.kappa));
       }
+      const bool built_fast = fast_path_built != 0;
+      if (spec.edit_fast_path == EditFastPath::kAuto) {
+        spec.edit_fast_path =
+            built_fast ? EditFastPath::kOn : EditFastPath::kOff;
+      } else if ((spec.edit_fast_path == EditFastPath::kOn) != built_fast) {
+        return SpecMismatch("fast_path", built_fast ? "on" : "off",
+                            EditFastPathName(spec.edit_fast_path));
+      }
       break;
+    }
     case Domain::kGraph:
       if (partition_seed != spec.partition_seed) {
         return SpecMismatch("partition_seed",
@@ -439,8 +531,25 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadSet(
       new SetModel(std::move(loaded->collection), std::move(adapter)));
 }
 
+StatusOr<std::unique_ptr<const AnySearcher>> LoadEditFast(
+    const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  auto loaded =
+      storage::LoadEditFastSections(reader, static_cast<int>(spec.tau));
+  if (!loaded.ok()) return loaded.status();
+  editdist::CaseDecSearcher searcher = editdist::CaseDecSearcher::FromBuilt(
+      loaded->data.get(), static_cast<int>(spec.tau),
+      std::move(loaded->cases));
+  engine::EditFastAdapter adapter(std::move(searcher), loaded->data.get(),
+                                  spec.chain_length);
+  return std::unique_ptr<const AnySearcher>(
+      new EditFastModel(std::move(loaded->data), std::move(adapter)));
+}
+
 StatusOr<std::unique_ptr<const AnySearcher>> LoadEdit(
     const IndexSpec& spec, const storage::IndexFileReader& reader) {
+  if (spec.edit_fast_path == EditFastPath::kOn) {
+    return LoadEditFast(spec, reader);
+  }
   auto loaded = storage::LoadEditSections(reader, static_cast<int>(spec.tau),
                                           spec.kappa);
   if (!loaded.ok()) return loaded.status();
@@ -502,27 +611,30 @@ StatusOr<Db> Db::Open(const IndexSpec& spec, Dataset dataset) {
         "dataset holds " + std::string(DomainName(DatasetDomain(dataset))) +
         " records but the spec's domain is " + DomainName(spec.domain));
   }
+  // BuildEdit resolves edit_fast_path=kAuto against the dataset's shape;
+  // the resolved spec is what the snapshot reports and what Save persists.
+  IndexSpec resolved = spec;
   StatusOr<std::unique_ptr<const internal::AnySearcher>> searcher = [&] {
-    switch (spec.domain) {
+    switch (resolved.domain) {
       case Domain::kHamming:
         return internal::BuildHamming(
-            spec, std::get<std::vector<BitVector>>(std::move(dataset)));
+            resolved, std::get<std::vector<BitVector>>(std::move(dataset)));
       case Domain::kSet:
         return internal::BuildSet(
-            spec,
+            resolved,
             std::get<std::vector<std::vector<int>>>(std::move(dataset)));
       case Domain::kEdit:
         return internal::BuildEdit(
-            spec, std::get<std::vector<std::string>>(std::move(dataset)));
+            resolved, std::get<std::vector<std::string>>(std::move(dataset)));
       case Domain::kGraph:
         break;
     }
     return internal::BuildGraph(
-        spec, std::get<std::vector<graphed::Graph>>(std::move(dataset)));
+        resolved, std::get<std::vector<graphed::Graph>>(std::move(dataset)));
   }();
   if (!searcher.ok()) return searcher.status();
   auto state = std::make_shared<internal::DbState>();
-  state->spec = spec;
+  state->spec = resolved;
   state->searcher =
       std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
   // The snapshot-scoped executor starts at the spec's default width and
@@ -582,30 +694,32 @@ StatusOr<Db> Db::OpenIndex(const IndexSpec& spec,
   }
   // The kSpec section names the exact disagreeing build field; the header
   // fingerprint is the backstop (it also catches a spec section that was
-  // tampered into agreement).
-  Status spec_check = internal::CheckSpecSection(spec, *reader);
+  // tampered into agreement). For the edit domain the check also resolves
+  // edit_fast_path=kAuto from the file's fast_path_built flag.
+  IndexSpec resolved = spec;
+  Status spec_check = internal::CheckSpecSection(resolved, *reader);
   if (!spec_check.ok()) return spec_check;
-  if (reader->spec_fingerprint() != BuildFingerprint(spec)) {
+  if (reader->spec_fingerprint() != BuildFingerprint(resolved)) {
     return Status::FailedPrecondition(
         "index file was built under a different spec (fingerprint "
         "mismatch); rebuild the index");
   }
   StatusOr<std::unique_ptr<const internal::AnySearcher>> searcher = [&] {
-    switch (spec.domain) {
+    switch (resolved.domain) {
       case Domain::kHamming:
-        return internal::LoadHamming(spec, *reader);
+        return internal::LoadHamming(resolved, *reader);
       case Domain::kSet:
-        return internal::LoadSet(spec, *reader);
+        return internal::LoadSet(resolved, *reader);
       case Domain::kEdit:
-        return internal::LoadEdit(spec, *reader);
+        return internal::LoadEdit(resolved, *reader);
       case Domain::kGraph:
         break;
     }
-    return internal::LoadGraph(spec, *reader);
+    return internal::LoadGraph(resolved, *reader);
   }();
   if (!searcher.ok()) return searcher.status();
   auto state = std::make_shared<internal::DbState>();
-  state->spec = spec;
+  state->spec = resolved;
   state->searcher =
       std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
   state->executor = std::make_unique<engine::Executor>(spec.num_threads);

@@ -32,6 +32,26 @@ const char* DomainName(Domain domain) {
   return "unknown";
 }
 
+const char* EditFastPathName(EditFastPath mode) {
+  switch (mode) {
+    case EditFastPath::kAuto:
+      return "auto";
+    case EditFastPath::kOn:
+      return "on";
+    case EditFastPath::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+StatusOr<EditFastPath> ParseEditFastPath(const std::string& name) {
+  if (name == "auto") return EditFastPath::kAuto;
+  if (name == "on") return EditFastPath::kOn;
+  if (name == "off") return EditFastPath::kOff;
+  return Status::InvalidArgument("unknown fast-path mode '" + name +
+                                 "' (expected auto, on, or off)");
+}
+
 StatusOr<Domain> ParseDomain(const std::string& name) {
   if (name == "hamming") return Domain::kHamming;
   if (name == "sets") return Domain::kSet;
@@ -122,6 +142,12 @@ Status IndexSpec::Validate() const {
   if (domain == Domain::kEdit && kappa < 1) {
     return Status::InvalidArgument("kappa=" + std::to_string(kappa) +
                                    " is invalid: gram length must be >= 1");
+  }
+  if (domain != Domain::kEdit && edit_fast_path != EditFastPath::kAuto) {
+    return Status::InvalidArgument(
+        std::string("edit_fast_path=") + EditFastPathName(edit_fast_path) +
+        " only applies to the strings domain, not " +
+        std::string(DomainName(domain)));
   }
   if (domain == Domain::kHamming && num_parts < 0) {
     return Status::InvalidArgument(

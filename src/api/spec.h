@@ -53,6 +53,26 @@ enum class FilterMode {
               // degenerates to single-box chains)
 };
 
+/// Whether the edit domain uses the fixed-length case-decomposition fast
+/// path (editdist/casedec.h) instead of the pivotal q-gram pipeline. kAuto
+/// lets Db::Open ask core/advisor once the dataset's shape is known; kOn
+/// demands the fast path and fails with kInvalidArgument when the dataset
+/// is not eligible (mixed lengths, empty strings, or strings longer than
+/// CaseDecSearcher::kMaxLength); kOff forces the pivotal path. Both paths
+/// return identical results, so the choice is excluded from
+/// BuildFingerprint — but the persisted index structures differ, so
+/// Db::OpenIndex resolves kAuto from what the file actually holds and
+/// rejects a kOn/kOff contradiction with kFailedPrecondition.
+enum class EditFastPath {
+  kAuto,
+  kOn,
+  kOff,
+};
+
+/// CLI-facing fast-path names: "auto", "on", "off".
+const char* EditFastPathName(EditFastPath mode);
+StatusOr<EditFastPath> ParseEditFastPath(const std::string& name);
+
 /// Everything needed to open a Db over one dataset. Domain-specific fields
 /// are ignored by the other domains except where Validate() flags a
 /// contradiction (e.g. a non-default measure outside the set domain).
@@ -91,6 +111,8 @@ struct IndexSpec {
   // --- Edit distance ---
   /// q-gram length kappa (the paper uses 2..3 for short strings).
   int kappa = 2;
+  /// Fixed-length case-decomposition fast path selection.
+  EditFastPath edit_fast_path = EditFastPath::kAuto;
 
   // --- Graph edit distance ---
   uint64_t partition_seed = 1;

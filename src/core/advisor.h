@@ -38,6 +38,26 @@ double EstimatedChainCost(const FilterAnalysis& analysis, int l,
 int SuggestChainLength(const FilterAnalysis& analysis, int max_l,
                        const ChainCostModel& costs);
 
+/// The advisor's call on the fixed-length edit distance fast path
+/// (editdist/casedec.h) for IndexSpec::edit_fast_path == kAuto.
+struct EditFastPathAdvice {
+  bool use_fast_path = false;
+  /// Human-readable rationale, surfaced in logs and tests.
+  const char* reason = "";
+};
+
+/// Decides whether a strings collection should be served by the
+/// case-decomposition fast path. `uniform_length` is the shared string
+/// length, or -1 when the collection is ineligible (mixed lengths, empty
+/// strings, over-long strings — the caller computes it via
+/// editdist::CaseDecSearcher::UniformLength). Beyond eligibility the
+/// advisor enforces an index-size budget: the deletion neighborhoods of
+/// the deepest case must stay small (C(L, floor(tau/2)) variants per
+/// record, and num_records * variants total signature rows), since the
+/// fast path trades index memory for filter speed.
+EditFastPathAdvice AdviseEditFastPath(int64_t num_records,
+                                      int uniform_length, int tau);
+
 }  // namespace pigeonring::core
 
 #endif  // PIGEONRING_CORE_ADVISOR_H_

@@ -34,15 +34,21 @@ std::vector<std::string> GenerateStrings(const StringConfig& config) {
   PR_CHECK(config.num_records >= 0 && config.avg_length >= 2);
   PR_CHECK(config.alphabet >= 2 && config.alphabet <= 26);
   PR_CHECK(config.max_perturb_edits >= 1);
+  PR_CHECK(config.fixed_length >= 0);
   Rng rng(config.seed);
   const std::vector<std::string> syllables =
       BuildSyllables(rng, config.alphabet, 256);
   ZipfSampler zipf(static_cast<int>(syllables.size()), 0.9);
 
   auto fresh = [&]() {
-    const int lo = std::max(2, config.avg_length / 2);
-    const int hi = config.avg_length + config.avg_length / 2;
-    const int target = static_cast<int>(rng.NextInRange(lo, hi));
+    int target;
+    if (config.fixed_length > 0) {
+      target = config.fixed_length;
+    } else {
+      const int lo = std::max(2, config.avg_length / 2);
+      const int hi = config.avg_length + config.avg_length / 2;
+      target = static_cast<int>(rng.NextInRange(lo, hi));
+    }
     std::string s;
     while (static_cast<int>(s.size()) < target) {
       s += syllables[zipf.Sample(rng)];
@@ -57,6 +63,19 @@ std::vector<std::string> GenerateStrings(const StringConfig& config) {
     for (int e = 0; e < edits && !s.empty(); ++e) {
       const int pos = static_cast<int>(rng.NextBounded(s.size()));
       const char c = static_cast<char>('a' + rng.NextBounded(config.alphabet));
+      if (config.fixed_length > 0) {
+        // Length-preserving edits only: a substitution, or a delete+insert
+        // pair (which near-copies need so indel-bearing optimal alignments
+        // — the j >= 1 cases of the fast path — actually arise).
+        if (rng.NextBounded(2) == 0) {
+          s[pos] = c;
+        } else {
+          s.erase(s.begin() + pos);
+          const int at = static_cast<int>(rng.NextBounded(s.size() + 1));
+          s.insert(s.begin() + at, c);
+        }
+        continue;
+      }
       switch (rng.NextBounded(3)) {
         case 0:
           s[pos] = c;  // substitution

@@ -22,6 +22,11 @@ struct StringConfig {
   int alphabet = 26;         // lowercase letters
   double duplicate_fraction = 0.3;  // edit-perturbed near-copies
   int max_perturb_edits = 3;        // edits applied to each near-copy
+  // 0 (default): lengths vary around avg_length. > 0: every record is
+  // exactly this long and near-copies use length-preserving edits
+  // (substitutions, or delete+insert pairs so indel-bearing alignments
+  // still occur) — the shape the fixed-length fast path indexes.
+  int fixed_length = 0;
   uint64_t seed = 1;
 };
 

@@ -37,6 +37,21 @@ QueryStats ToQueryStats(const editdist::EditSearchStats& stats) {
   return out;
 }
 
+QueryStats ToQueryStats(const editdist::CaseDecStats& stats) {
+  QueryStats out;
+  out.candidates = stats.candidates;
+  out.candidates_stage2 = stats.candidates;
+  out.results = stats.results;
+  out.index_hits = stats.index_hits;
+  out.chain_checks = stats.chain_checks;
+  out.fast_path_candidates = stats.candidates;
+  out.fast_path_hits = stats.fast_path_hits;
+  out.filter_millis = stats.filter_millis;
+  out.verify_millis = stats.verify_millis;
+  out.total_millis = stats.total_millis;
+  return out;
+}
+
 QueryStats ToQueryStats(const graphed::GraphSearchStats& stats) {
   QueryStats out;
   out.candidates = stats.candidates;
@@ -67,6 +82,15 @@ std::vector<int> SetAdapter::Search(const Query& query, QueryStats* stats) {
 std::vector<int> EditAdapter::Search(const Query& query, QueryStats* stats) {
   editdist::EditSearchStats domain_stats;
   auto ids = searcher_.Search(query, filter_, chain_length_,
+                              stats != nullptr ? &domain_stats : nullptr);
+  if (stats != nullptr) *stats = ToQueryStats(domain_stats);
+  return ids;
+}
+
+std::vector<int> EditFastAdapter::Search(const Query& query,
+                                         QueryStats* stats) {
+  editdist::CaseDecStats domain_stats;
+  auto ids = searcher_.Search(query, chain_length_,
                               stats != nullptr ? &domain_stats : nullptr);
   if (stats != nullptr) *stats = ToQueryStats(domain_stats);
   return ids;

@@ -22,6 +22,11 @@ struct QueryStats {
   int64_t index_hits = 0;        // postings touched during filtering
   int64_t chain_checks = 0;      // hamming: prefix-viable chain checks
   int64_t subiso_tests = 0;      // graphed: subgraph-isomorphism calls
+  int64_t fast_path_candidates = 0;  // editdist fast path: unique records
+                                     // surviving the case-decomposition
+                                     // Hamming filter
+  int64_t fast_path_hits = 0;        // editdist fast path: signature rows
+                                     // passing the filter, pre-dedup
   double filter_millis = 0;
   double verify_millis = 0;
   double total_millis = 0;
@@ -33,6 +38,8 @@ struct QueryStats {
     index_hits += other.index_hits;
     chain_checks += other.chain_checks;
     subiso_tests += other.subiso_tests;
+    fast_path_candidates += other.fast_path_candidates;
+    fast_path_hits += other.fast_path_hits;
     filter_millis += other.filter_millis;
     verify_millis += other.verify_millis;
     total_millis += other.total_millis;
@@ -61,6 +68,15 @@ struct JoinStats {
   int64_t candidates = 0;
   int64_t pairs = 0;       // unique unordered result pairs
   double total_millis = 0; // wall-clock time of the whole join
+
+  JoinStats& operator+=(const JoinStats& other) {
+    candidates += other.candidates;
+    pairs += other.pairs;
+    total_millis += other.total_millis;
+    return *this;
+  }
+
+  friend bool operator==(const JoinStats&, const JoinStats&) = default;
 };
 
 }  // namespace pigeonring::engine

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "editdist/casedec.h"
 #include "editdist/pivotal.h"
 #include "engine/query_stats.h"
 #include "graphed/pars.h"
@@ -51,6 +52,7 @@ concept Searcher =
 QueryStats ToQueryStats(const hamming::SearchStats& stats);
 QueryStats ToQueryStats(const setsim::SetSearchStats& stats);
 QueryStats ToQueryStats(const editdist::EditSearchStats& stats);
+QueryStats ToQueryStats(const editdist::CaseDecStats& stats);
 QueryStats ToQueryStats(const graphed::GraphSearchStats& stats);
 
 /// Hamming distance search (§6.1) with a fixed tau / chain length /
@@ -130,6 +132,33 @@ class EditAdapter {
   int chain_length_;
 };
 
+/// Fixed-length string edit distance search via case decomposition (the
+/// fast path; see editdist/casedec.h). Interchangeable with EditAdapter —
+/// same Query type, identical result sets on eligible collections. `data`
+/// must outlive the adapter and all copies (the wrapped searcher already
+/// points at it).
+class EditFastAdapter {
+ public:
+  using Query = std::string;
+
+  EditFastAdapter(editdist::CaseDecSearcher searcher,
+                  const std::vector<std::string>* data, int chain_length)
+      : searcher_(std::move(searcher)),
+        data_(data),
+        chain_length_(chain_length) {}
+
+  int size() const { return static_cast<int>(data_->size()); }
+  const Query& query(int i) const { return (*data_)[i]; }
+  const editdist::CaseDecSearcher& searcher() const { return searcher_; }
+  const std::vector<std::string>* data() const { return data_; }
+  std::vector<int> Search(const Query& query, QueryStats* stats = nullptr);
+
+ private:
+  editdist::CaseDecSearcher searcher_;
+  const std::vector<std::string>* data_;
+  int chain_length_;
+};
+
 /// Graph edit distance search (§6.4). `data` must outlive the adapter and
 /// all copies.
 class GraphAdapter {
@@ -160,6 +189,7 @@ class GraphAdapter {
 static_assert(Searcher<HammingAdapter>);
 static_assert(Searcher<SetAdapter>);
 static_assert(Searcher<EditAdapter>);
+static_assert(Searcher<EditFastAdapter>);
 static_assert(Searcher<GraphAdapter>);
 
 }  // namespace pigeonring::engine

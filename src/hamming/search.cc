@@ -53,8 +53,19 @@ std::vector<int> HammingSearcher::AllocateThresholds(
   // parts at -1 (never probed) and grant tau + 1 single-radius units.
   std::vector<int> t(m, -1);
   const int units = tau + 1;
-  if (mode == AllocationMode::kUniform) {
+  if (mode == AllocationMode::kUniform ||
+      (mode == AllocationMode::kRadiusZero && units > m)) {
     for (int u = 0; u < units; ++u) ++t[u % m];
+    return t;
+  }
+  if (mode == AllocationMode::kRadiusZero) {
+    std::vector<std::pair<int64_t, int>> by_cost(m);
+    for (int p = 0; p < m; ++p) {
+      by_cost[p] = {index.CountAtRadius(query, p, 0), p};
+    }
+    std::nth_element(by_cost.begin(), by_cost.begin() + (units - 1),
+                     by_cost.end());
+    for (int u = 0; u < units; ++u) t[by_cost[u].second] = 0;
     return t;
   }
   // Greedy cost model: each unit goes to the part whose next probe radius

@@ -30,6 +30,13 @@ enum class AllocationMode {
   /// the cheapest marginal probe cost for this query (estimated exactly from
   /// the index bucket sizes).
   kCostModel,
+  /// Radius-0-only cost model: when tau + 1 <= m, probe the tau + 1 parts
+  /// with the smallest exact-match buckets for this query, each at radius
+  /// 0. Same threshold mass as kUniform (so equally sound) but the probe
+  /// order follows the data, and allocation costs m bucket lookups with no
+  /// radius-1 counting — the right trade for high-call-rate searches over
+  /// selective indexes. Falls back to kUniform when tau + 1 > m.
+  kRadiusZero,
 };
 
 /// Counters for one query, matching the quantities reported in the paper's

@@ -48,6 +48,7 @@ std::vector<uint8_t> IndexFileWriter::Image(uint32_t domain,
 
   std::vector<uint8_t> image(file_length, 0);
   for (size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].payload.empty()) continue;  // data() may be null
     std::memcpy(image.data() + ranges[i].first, sections_[i].payload.data(),
                 sections_[i].payload.size());
   }

@@ -50,7 +50,11 @@
 namespace pigeonring::storage {
 
 inline constexpr uint8_t kMagic[8] = {'P', 'G', 'R', 'I', 'D', 'X', '0', '1'};
-inline constexpr uint32_t kFormatVersion = 1;
+// Version history:
+//   1 — initial container (PR 6).
+//   2 — kSpec section gained a trailing fast_path_built flag; added the
+//       kEditFast* sections for the fixed-length case-decomposition index.
+inline constexpr uint32_t kFormatVersion = 2;
 inline constexpr size_t kHeaderSize = 64;
 inline constexpr size_t kTocEntrySize = 32;
 inline constexpr size_t kSectionAlignment = 64;
@@ -92,6 +96,10 @@ enum class SectionId : uint32_t {
   kEditPivotalIndex = 53,  // gram rank -> pivotal postings
   kEditPrefixIndex = 54,   // gram rank -> prefix postings
   kEditLengths = 55,       // length buckets + short ids
+
+  kEditFastStrings = 56,   // fixed-length collection: count + length + chars
+  kEditFastMeta = 57,      // per-case indels / hamming tau / partition bounds
+  kEditFastPostings = 58,  // per-case per-part (signature key -> rows)
 
   kGraphData = 64,        // vertex labels + edges per graph
   kGraphParts = 65,       // per-graph Pars partition (parts + half-edges)

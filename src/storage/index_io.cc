@@ -856,6 +856,217 @@ StatusOr<LoadedEdit> LoadEditSections(const IndexFileReader& reader, int tau,
   return loaded;
 }
 
+// --- Fixed-length edit distance fast path ---
+
+namespace {
+
+std::vector<uint8_t> EncodeEditFastStrings(
+    const std::vector<std::string>& data, int length) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(data.size()));
+  w.I32(length);
+  for (const std::string& s : data) w.Bytes(s.data(), s.size());
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditFastMeta(
+    const std::vector<editdist::CaseDecSearcher::Case>& cases) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(cases.size()));
+  for (const editdist::CaseDecSearcher::Case& c : cases) {
+    const hamming::Partition& partition =
+        c.searcher.partition_index().partition();
+    w.I32(c.indels);
+    w.I32(c.hamming_tau);
+    w.I32(partition.dimensions());
+    std::vector<int> bounds;
+    bounds.reserve(partition.num_parts() + 1);
+    bounds.push_back(0);
+    for (int p = 0; p < partition.num_parts(); ++p) {
+      bounds.push_back(partition.end(p));
+    }
+    w.VecI32(bounds);
+  }
+  return std::move(w).Take();
+}
+
+std::vector<uint8_t> EncodeEditFastPostings(
+    const std::vector<editdist::CaseDecSearcher::Case>& cases) {
+  ByteWriter w;
+  for (const editdist::CaseDecSearcher::Case& c : cases) {
+    const hamming::PartitionIndex& index = c.searcher.partition_index();
+    const int m = index.partition().num_parts();
+    w.U32(static_cast<uint32_t>(m));
+    for (int p = 0; p < m; ++p) {
+      size_t num_buckets = 0;
+      index.ForEachBucketSorted(
+          p, [&](uint64_t, const std::vector<int>&) { ++num_buckets; });
+      w.U64(num_buckets);
+      index.ForEachBucketSorted(
+          p, [&](uint64_t key, const std::vector<int>& rows) {
+            w.U64(key);
+            w.VecI32(rows);
+          });
+    }
+  }
+  return std::move(w).Take();
+}
+
+}  // namespace
+
+void SaveEditFastSections(const std::vector<std::string>& data,
+                          const editdist::CaseDecSearcher& searcher,
+                          IndexFileWriter& writer) {
+  writer.AddSection(SectionId::kEditFastStrings,
+                    EncodeEditFastStrings(data, searcher.length()));
+  writer.AddSection(SectionId::kEditFastMeta,
+                    EncodeEditFastMeta(searcher.cases()));
+  writer.AddSection(SectionId::kEditFastPostings,
+                    EncodeEditFastPostings(searcher.cases()));
+}
+
+StatusOr<LoadedEditFast> LoadEditFastSections(const IndexFileReader& reader,
+                                              int tau) {
+  using editdist::CaseDecSearcher;
+
+  auto strings_section = reader.Section(SectionId::kEditFastStrings);
+  if (!strings_section.ok()) return strings_section.status();
+  ByteReader strings_reader = *strings_section;
+  const uint32_t n = strings_reader.U32();
+  const int length = strings_reader.I32();
+  if (!strings_reader.ok() || (n == 0 && length != 0) ||
+      (n > 0 && (length < 1 || length > CaseDecSearcher::kMaxLength)) ||
+      strings_reader.remaining() !=
+          static_cast<size_t>(n) * static_cast<size_t>(length)) {
+    return SectionCorrupt(SectionId::kEditFastStrings, "bad geometry");
+  }
+  auto data = std::make_unique<std::vector<std::string>>();
+  data->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s(static_cast<size_t>(length), '\0');
+    strings_reader.ReadBytes(s.data(), s.size());
+    data->push_back(std::move(s));
+  }
+  Status s = CheckConsumed(strings_reader, SectionId::kEditFastStrings);
+  if (!s.ok()) return s;
+
+  const int num_cases = CaseDecSearcher::NumCases(length, tau);
+  auto meta_section = reader.Section(SectionId::kEditFastMeta);
+  if (!meta_section.ok()) return meta_section.status();
+  ByteReader meta_reader = *meta_section;
+  const uint32_t file_cases = meta_reader.U32();
+  if (!meta_reader.ok() || static_cast<int>(file_cases) != num_cases) {
+    // The fingerprint already matched, so a differing case count means the
+    // payload no longer agrees with the header.
+    return SectionCorrupt(SectionId::kEditFastMeta,
+                          "case count disagrees with the spec");
+  }
+  struct CaseMeta {
+    int dims;
+    std::vector<int> bounds;
+  };
+  std::vector<CaseMeta> metas;
+  metas.reserve(num_cases);
+  for (int j = 0; j < num_cases; ++j) {
+    const int indels = meta_reader.I32();
+    const int hamming_tau = meta_reader.I32();
+    CaseMeta meta;
+    meta.dims = meta_reader.I32();
+    meta.bounds = meta_reader.VecI32();
+    if (!meta_reader.ok() || indels != j ||
+        hamming_tau != 2 * (tau - 2 * j) ||
+        meta.dims != (length - j) * CaseDecSearcher::kBitsPerChar) {
+      return SectionCorrupt(SectionId::kEditFastMeta,
+                            "case geometry disagrees with the spec");
+    }
+    if (meta.bounds.size() < 2 || meta.bounds.front() != 0 ||
+        meta.bounds.back() != meta.dims ||
+        meta.bounds.size() > 65) {  // <= 64 parts (chain bitmask limit)
+      return SectionCorrupt(SectionId::kEditFastMeta, "bad partition bounds");
+    }
+    for (size_t i = 1; i < meta.bounds.size(); ++i) {
+      const int width = meta.bounds[i] - meta.bounds[i - 1];
+      if (width < 1 || width > 64) {
+        return SectionCorrupt(SectionId::kEditFastMeta,
+                              "part width outside [1, 64]");
+      }
+    }
+    metas.push_back(std::move(meta));
+  }
+  s = CheckConsumed(meta_reader, SectionId::kEditFastMeta);
+  if (!s.ok()) return s;
+
+  auto postings_section = reader.Section(SectionId::kEditFastPostings);
+  if (!postings_section.ok()) return postings_section.status();
+  ByteReader postings_reader = *postings_section;
+  LoadedEditFast loaded;
+  loaded.cases.reserve(num_cases);
+  for (int j = 0; j < num_cases; ++j) {
+    const int64_t variants = CaseDecSearcher::VariantsPerRecord(length, j);
+    const int64_t num_rows = static_cast<int64_t>(n) * variants;
+    if (num_rows >= INT32_MAX) {
+      return SectionCorrupt(SectionId::kEditFastMeta,
+                            "case would exceed 2^31 signature rows");
+    }
+    const int num_parts = static_cast<int>(metas[j].bounds.size()) - 1;
+    const uint32_t file_parts = postings_reader.U32();
+    if (!postings_reader.ok() ||
+        static_cast<int>(file_parts) != num_parts) {
+      return SectionCorrupt(SectionId::kEditFastPostings,
+                            "part count disagrees with the meta section");
+    }
+    std::vector<hamming::PartitionIndex::Buckets> part_buckets(num_parts);
+    for (int p = 0; p < num_parts; ++p) {
+      // Each bucket needs at least key (8) + row-count (8) bytes.
+      const uint64_t num_buckets = postings_reader.Count(16);
+      if (!postings_reader.ok()) {
+        return SectionCorrupt(SectionId::kEditFastPostings,
+                              "bad bucket count");
+      }
+      auto& buckets = part_buckets[p];
+      buckets.reserve(static_cast<size_t>(num_buckets));
+      for (uint64_t b = 0; b < num_buckets; ++b) {
+        const uint64_t key = postings_reader.U64();
+        std::vector<int> rows = postings_reader.VecI32();
+        if (!postings_reader.ok()) {
+          return SectionCorrupt(SectionId::kEditFastPostings,
+                                "truncated bucket");
+        }
+        for (int row : rows) {
+          if (row < 0 || row >= num_rows) {
+            return SectionCorrupt(SectionId::kEditFastPostings,
+                                  "signature row outside the collection");
+          }
+        }
+        if (!buckets.emplace(key, std::move(rows)).second) {
+          return SectionCorrupt(SectionId::kEditFastPostings,
+                                "duplicate bucket key");
+        }
+      }
+    }
+    // The signature rows are a pure re-encoding of the strings; rebuild
+    // them and adopt the saved partition + postings without re-hashing.
+    hamming::Partition partition = hamming::Partition::FromBounds(
+        metas[j].dims, std::move(metas[j].bounds));
+    auto index = std::make_shared<const hamming::PartitionIndex>(
+        hamming::PartitionIndex::FromBuckets(std::move(partition),
+                                             static_cast<int>(num_rows),
+                                             std::move(part_buckets)));
+    // Case::exact is derived state; CaseDecSearcher::FromBuilt fills it.
+    loaded.cases.push_back(
+        {j, 2 * (tau - 2 * j),
+         hamming::HammingSearcher::FromBuilt(
+             CaseDecSearcher::BuildCaseRows(*data, length, j),
+             std::move(index)),
+         nullptr});
+  }
+  s = CheckConsumed(postings_reader, SectionId::kEditFastPostings);
+  if (!s.ok()) return s;
+
+  loaded.data = std::move(data);
+  return loaded;
+}
+
 // --- Graphs ---
 
 void SaveGraphSections(const std::vector<graphed::Graph>& data,

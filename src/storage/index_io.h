@@ -26,6 +26,7 @@
 
 #include "common/bitvector.h"
 #include "common/status.h"
+#include "editdist/casedec.h"
 #include "editdist/pivotal.h"
 #include "graphed/graph.h"
 #include "graphed/pars.h"
@@ -76,6 +77,27 @@ struct LoadedEdit {
 /// geometry is validated against them.
 StatusOr<LoadedEdit> LoadEditSections(const IndexFileReader& reader, int tau,
                                       int kappa);
+
+// --- Fixed-length edit distance fast path (editdist/casedec.h) ---
+//
+// The signature bit rows are *derived* data (a pure positional re-encoding
+// of the strings), so only the strings, the per-case partition geometry,
+// and the per-case postings are persisted; the loader re-encodes the rows
+// deterministically (data movement, not index construction) and adopts the
+// saved partition + postings via the Hamming FromBuilt factories.
+
+void SaveEditFastSections(const std::vector<std::string>& data,
+                          const editdist::CaseDecSearcher& searcher,
+                          IndexFileWriter& writer);
+
+struct LoadedEditFast {
+  std::unique_ptr<std::vector<std::string>> data;
+  std::vector<editdist::CaseDecSearcher::Case> cases;
+};
+/// `tau` is the opening spec's threshold — the case count and per-case
+/// thresholds are validated against it.
+StatusOr<LoadedEditFast> LoadEditFastSections(const IndexFileReader& reader,
+                                              int tau);
 
 // --- Graph edit distance (§6.4): graphs + partitions + histograms ---
 

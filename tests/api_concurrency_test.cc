@@ -83,6 +83,21 @@ Db OpenStrings() {
   return OpenOrDie(spec, Dataset(datagen::GenerateStrings(config)));
 }
 
+Db OpenStringsFastPath() {
+  datagen::StringConfig config;
+  config.num_records = 200;
+  config.fixed_length = 12;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = 1706;
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  spec.edit_fast_path = EditFastPath::kOn;
+  return OpenOrDie(spec, Dataset(datagen::GenerateStrings(config)));
+}
+
 Db OpenGraphs() {
   datagen::GraphConfig config;
   config.num_graphs = 50;
@@ -160,6 +175,13 @@ TEST(ConcurrentSessionsTest, Sets) {
 
 TEST(ConcurrentSessionsTest, Strings) {
   ExpectConcurrentSessionsMatchSequential(OpenStrings());
+}
+
+TEST(ConcurrentSessionsTest, StringsFastPath) {
+  // The fast path clones a CaseDecSearcher (with its per-query dedup
+  // scratch) per engine thread — the batch and join here are what TSan
+  // watches for cross-thread scratch sharing.
+  ExpectConcurrentSessionsMatchSequential(OpenStringsFastPath());
 }
 
 TEST(ConcurrentSessionsTest, Graphs) {

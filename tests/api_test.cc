@@ -578,6 +578,142 @@ TEST(SpecValidationTest, ExecutionFields) {
   EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SpecValidationTest, EditFastPathFieldRules) {
+  // The knob only exists for the strings domain.
+  IndexSpec spec;
+  spec.domain = Domain::kHamming;
+  spec.tau = 4;
+  spec.edit_fast_path = EditFastPath::kOn;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.edit_fast_path = EditFastPath::kOff;
+  EXPECT_EQ(spec.Validate().code(), StatusCode::kInvalidArgument);
+  spec.edit_fast_path = EditFastPath::kAuto;
+  EXPECT_TRUE(spec.Validate().ok());
+
+  spec = IndexSpec();
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  for (EditFastPath mode : {EditFastPath::kAuto, EditFastPath::kOn,
+                            EditFastPath::kOff}) {
+    spec.edit_fast_path = mode;
+    EXPECT_TRUE(spec.Validate().ok()) << EditFastPathName(mode);
+  }
+}
+
+TEST(SpecValidationTest, EditFastPathNamesRoundTrip) {
+  for (EditFastPath mode : {EditFastPath::kAuto, EditFastPath::kOn,
+                            EditFastPath::kOff}) {
+    auto parsed = ParseEditFastPath(EditFastPathName(mode));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value(), mode);
+  }
+  EXPECT_EQ(ParseEditFastPath("fast").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DbTest, FastPathOnRequiresFixedLengthData) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.edit_fast_path = EditFastPath::kOn;
+  auto db = Db::Open(
+      spec, Dataset(std::vector<std::string>{"short", "longerstring"}));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(db.status().message().find("fixed-length"), std::string::npos)
+      << db.status().ToString();
+}
+
+TEST(DbTest, FastPathAutoResolvesFromTheData) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+
+  datagen::StringConfig fixed;
+  fixed.num_records = 60;
+  fixed.fixed_length = 10;
+  fixed.seed = 19;
+  auto fast = Db::Open(spec, Dataset(datagen::GenerateStrings(fixed)));
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(fast->spec().edit_fast_path, EditFastPath::kOn);
+
+  auto pivotal = Db::Open(spec, Dataset(MakeStrings(60, 19)));
+  ASSERT_TRUE(pivotal.ok()) << pivotal.status().ToString();
+  EXPECT_EQ(pivotal->spec().edit_fast_path, EditFastPath::kOff);
+
+  // tau >= L: eligible shape, but nothing to filter -> advisor declines.
+  auto degenerate = Db::Open(
+      spec, Dataset(std::vector<std::string>{"ab", "cd", "ef"}));
+  ASSERT_TRUE(degenerate.ok()) << degenerate.status().ToString();
+  EXPECT_EQ(degenerate->spec().edit_fast_path, EditFastPath::kOff);
+}
+
+// The load-bearing equivalence: over the same fixed-length collection the
+// fast path and the pivotal path must return byte-identical ids and pairs
+// through the facade, for every tau the fast path supports.
+TEST(DbGoldenDiffTest, StringsFastPathMatchesPivotal) {
+  datagen::StringConfig config;
+  config.num_records = 200;
+  config.fixed_length = 12;
+  config.duplicate_fraction = 0.5;
+  config.max_perturb_edits = 3;
+  config.seed = 87;
+  const auto data = datagen::GenerateStrings(config);
+  for (const int tau : {1, 2, 3, 4}) {
+    IndexSpec on;
+    on.domain = Domain::kEdit;
+    on.tau = tau;
+    on.chain_length = 2;
+    on.edit_fast_path = EditFastPath::kOn;
+    IndexSpec off = on;
+    off.edit_fast_path = EditFastPath::kOff;
+    auto fast = Db::Open(on, Dataset(data));
+    auto pivotal = Db::Open(off, Dataset(data));
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ASSERT_TRUE(pivotal.ok()) << pivotal.status().ToString();
+
+    Session fast_session = fast->NewSession();
+    Session pivotal_session = pivotal->NewSession();
+    for (int id = 0; id < fast->num_records(); id += 9) {
+      auto query = fast->RecordQuery(id);
+      ASSERT_TRUE(query.ok());
+      auto a = fast_session.Search(*query);
+      auto b = pivotal_session.Search(*query);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ASSERT_EQ(a->ids, b->ids) << "tau=" << tau << " record " << id;
+      // Only the fast path populates its dedicated counters.
+      EXPECT_GT(a->stats.fast_path_candidates, 0);
+      EXPECT_EQ(b->stats.fast_path_candidates, 0);
+    }
+    auto join_a = fast_session.SelfJoin();
+    auto join_b = pivotal_session.SelfJoin();
+    ASSERT_TRUE(join_a.ok() && join_b.ok());
+    EXPECT_EQ(join_a->pairs, join_b->pairs) << "tau=" << tau;
+  }
+}
+
+// And the facade must match a hand-wired fast-path adapter exactly (ids,
+// pairs, and every deterministic counter).
+TEST(DbGoldenDiffTest, StringsFastPathFacade) {
+  datagen::StringConfig config;
+  config.num_records = 200;
+  config.fixed_length = 10;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = 88;
+  const auto data = datagen::GenerateStrings(config);
+  engine::EditFastAdapter adapter(editdist::CaseDecSearcher(&data, 2), &data,
+                                  3);
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 3;
+  spec.edit_fast_path = EditFastPath::kOn;
+  ExpectFacadeMatchesAdapter(adapter, Db::Open(spec, Dataset(data)),
+                             {0, 50, 150, 199});
+}
+
 TEST(SpecValidationTest, DomainNamesRoundTrip) {
   for (Domain domain : {Domain::kHamming, Domain::kSet, Domain::kEdit,
                         Domain::kGraph}) {

@@ -20,6 +20,8 @@ inline void ExpectSameCounters(const engine::QueryStats& a,
   EXPECT_EQ(a.index_hits, b.index_hits);
   EXPECT_EQ(a.chain_checks, b.chain_checks);
   EXPECT_EQ(a.subiso_tests, b.subiso_tests);
+  EXPECT_EQ(a.fast_path_candidates, b.fast_path_candidates);
+  EXPECT_EQ(a.fast_path_hits, b.fast_path_hits);
 }
 
 }  // namespace pigeonring::api

@@ -117,4 +117,44 @@ expect_fail(1 "FailedPrecondition.*tau"  # tau is baked into the index
 expect_fail(1 "FailedPrecondition"  # wrong domain for this index
   search strings --index "${WORK_DIR}/vectors.pgri" --tau 2)
 
+# --- edit-distance fast path ----------------------------------------------
+# --fast-path is a strings-only flag with a closed vocabulary, and
+# demanding it (on) for data that cannot take it is a usage error the CLI
+# rejects before the Db layer.
+execute_process(
+  COMMAND ${PIGEONRING_CLI} gen strings --out "${WORK_DIR}/var.ds" --n 40
+  RESULT_VARIABLE rc)
+execute_process(
+  COMMAND ${PIGEONRING_CLI} gen strings --out "${WORK_DIR}/fixed.ds" --n 40
+          --fixed 10
+  RESULT_VARIABLE rc2)
+if(NOT rc EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "gen strings failed (rc=${rc}/${rc2})")
+endif()
+
+expect_fail(2 "unknown --fast-path mode 'fast'"
+  search strings --data "${WORK_DIR}/fixed.ds" --tau 2 --fast-path fast)
+expect_fail(2 "unknown flag --fast-path"  # strings-only flag
+  search hamming --data "${dataset}" --tau 8 --fast-path on)
+expect_fail(2 "requires a fixed-length dataset"
+  search strings --data "${WORK_DIR}/var.ds" --tau 2 --fast-path on)
+expect_fail(2 "requires a fixed-length dataset"
+  join strings --data "${WORK_DIR}/var.ds" --tau 2 --fast-path on)
+expect_fail(2 "requires a fixed-length dataset"
+  build strings --data "${WORK_DIR}/var.ds" --out "${WORK_DIR}/var.pgri"
+  --tau 2 --fast-path on)
+
+# An index built pivotal-only cannot be served with --fast-path on: the
+# flag is baked into the file and the contradiction is a typed error.
+execute_process(
+  COMMAND ${PIGEONRING_CLI} build strings --data "${WORK_DIR}/fixed.ds"
+          --out "${WORK_DIR}/fixed_pivotal.pgri" --tau 2 --fast-path off
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "build strings failed (rc=${rc})")
+endif()
+expect_fail(1 "FailedPrecondition.*fast_path"
+  search strings --index "${WORK_DIR}/fixed_pivotal.pgri" --tau 2
+  --fast-path on)
+
 message(STATUS "all CLI error paths return their documented exit codes")

@@ -3,6 +3,9 @@
 #   search — thresholded search with the pigeonring filter, every domain
 #   join   — self-join, every domain (hamming also runs the chain-1
 #            pigeonhole baseline for contrast)
+#   fast path — over a fixed-length strings dataset, --fast-path on and
+#          --fast-path off must print identical results/pairs; auto must
+#          resolve to on; built indexes round-trip the fast-path sections
 #   join determinism — the hamming join with --threads 1 and --threads 2
 #          in --stats kv mode must print identical pairs and counters
 #          (only timing / thread-count lines may differ)
@@ -142,6 +145,72 @@ expect_index_matches_data(LABEL "graphs join"
   DATA_ARGS join graphs --data "${WORK_DIR}/graphs.ds" --tau 2 --chain 2
     --stats kv --print 1000000
   INDEX_ARGS join graphs --index "${WORK_DIR}/graphs.pgri" --tau 2
+    --chain 2 --stats kv --print 1000000)
+
+# Fixed-length fast path: over one fixed-length dataset, --fast-path on
+# and --fast-path off must report identical result counts (search) and
+# identical pair lists (join) — only the candidate/timing lines may move.
+set(fixed_strings "${WORK_DIR}/strings_fixed.ds")
+run_cli(gen strings --out "${fixed_strings}" --n 200 --fixed 12 --seed 42)
+
+# Also drop the lines that legitimately differ between the two filter
+# paths: candidate counters, the mode echo, and the fast-path counters.
+function(strip_path_dependent text out_var)
+  strip_nondeterministic("${text}" text)
+  string(REGEX REPLACE
+    "stat\\.(candidates|fast_path|fast_path_candidates|fast_path_hits)=[^\n]*\n?"
+    "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+run_cli(search strings --data "${fixed_strings}" --tau 2 --chain 2
+        --queries 20 --fast-path on --stats kv)
+if(NOT last_output MATCHES "stat\\.fast_path=on")
+  message(FATAL_ERROR "--fast-path on was not honored:\n${last_output}")
+endif()
+strip_path_dependent("${last_output}" fast_on_search)
+run_cli(search strings --data "${fixed_strings}" --tau 2 --chain 2
+        --queries 20 --fast-path off --stats kv)
+if(NOT last_output MATCHES "stat\\.fast_path=off")
+  message(FATAL_ERROR "--fast-path off was not honored:\n${last_output}")
+endif()
+strip_path_dependent("${last_output}" fast_off_search)
+if(NOT fast_on_search STREQUAL fast_off_search)
+  message(FATAL_ERROR
+    "fast-path search results diverged from pivotal\n--fast-path on:\n${fast_on_search}\n--fast-path off:\n${fast_off_search}")
+endif()
+
+run_cli(join strings --data "${fixed_strings}" --tau 2 --chain 2
+        --fast-path on --stats kv --print 1000000)
+strip_path_dependent("${last_output}" fast_on_join)
+run_cli(join strings --data "${fixed_strings}" --tau 2 --chain 2
+        --fast-path off --stats kv --print 1000000)
+strip_path_dependent("${last_output}" fast_off_join)
+if(NOT fast_on_join STREQUAL fast_off_join)
+  message(FATAL_ERROR
+    "fast-path join pairs diverged from pivotal\n--fast-path on:\n${fast_on_join}\n--fast-path off:\n${fast_off_join}")
+endif()
+message(STATUS "strings --fast-path on matches --fast-path off exactly")
+
+# The default (auto) must pick the fast path for a fixed-length dataset,
+# and build/serve-from-index must round-trip the fast-path sections.
+run_cli(search strings --data "${fixed_strings}" --tau 2 --chain 2
+        --queries 20 --stats kv)
+if(NOT last_output MATCHES "stat\\.fast_path=on")
+  message(FATAL_ERROR
+    "auto did not select the fast path for fixed-length data:\n${last_output}")
+endif()
+run_cli(build strings --data "${fixed_strings}"
+        --out "${WORK_DIR}/strings_fixed.pgri" --tau 2 --fast-path on)
+expect_index_matches_data(LABEL "strings fast-path search"
+  DATA_ARGS search strings --data "${fixed_strings}" --tau 2 --chain 2
+    --queries 20 --fast-path on --stats kv
+  INDEX_ARGS search strings --index "${WORK_DIR}/strings_fixed.pgri" --tau 2
+    --chain 2 --queries 20 --stats kv)
+expect_index_matches_data(LABEL "strings fast-path join"
+  DATA_ARGS join strings --data "${fixed_strings}" --tau 2 --chain 2
+    --fast-path on --stats kv --print 1000000
+  INDEX_ARGS join strings --index "${WORK_DIR}/strings_fixed.pgri" --tau 2
     --chain 2 --stats kv --print 1000000)
 
 # Parallel join determinism: --threads 2 must reproduce the single-threaded

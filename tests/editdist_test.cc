@@ -311,5 +311,55 @@ TEST(DatagenTest, StringsDeterministicAndShaped) {
   EXPECT_NEAR(total / a.size(), 16.0, 5.0);
 }
 
+TEST(DatagenTest, FixedLengthModeIsUniformAndDeterministic) {
+  StringConfig config;
+  config.num_records = 400;
+  config.fixed_length = 12;
+  config.duplicate_fraction = 0.5;
+  config.max_perturb_edits = 3;
+  config.seed = 7;
+  const auto a = GenerateStrings(config);
+  const auto b = GenerateStrings(config);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 400u);
+  for (const auto& s : a) {
+    ASSERT_EQ(s.size(), 12u);
+    for (char c : s) {
+      ASSERT_GE(c, 'a');
+      ASSERT_LT(c, 'a' + 26);
+    }
+  }
+  // The near-copy machinery must still produce close pairs in fixed mode:
+  // with half the records perturbed copies, some pair sits within tau = 3.
+  bool close_pair = false;
+  for (size_t i = 1; i < a.size() && !close_pair; ++i) {
+    for (size_t j = 0; j < i && !close_pair; ++j) {
+      if (BandedEditDistance(a[i], a[j], 3) <= 3) close_pair = true;
+    }
+  }
+  EXPECT_TRUE(close_pair);
+}
+
+TEST(DatagenTest, FixedLengthChangesOutputButNotVariableMode) {
+  StringConfig variable;
+  variable.num_records = 100;
+  variable.seed = 11;
+  StringConfig fixed = variable;
+  fixed.fixed_length = 16;
+  const auto a = GenerateStrings(variable);
+  const auto b = GenerateStrings(fixed);
+  EXPECT_NE(a, b);
+  // fixed_length = 0 must reproduce the historical variable-length stream.
+  size_t distinct_lengths = 0;
+  std::vector<bool> seen(64, false);
+  for (const auto& s : a) {
+    if (s.size() < seen.size() && !seen[s.size()]) {
+      seen[s.size()] = true;
+      ++distinct_lengths;
+    }
+  }
+  EXPECT_GT(distinct_lengths, 1u);
+}
+
 }  // namespace
 }  // namespace pigeonring::editdist

@@ -87,6 +87,36 @@ TEST(EngineTest, EditParallelJoinDeterministic) {
   ExpectParallelJoinMatchesSequential(adapter);
 }
 
+TEST(EngineTest, EditFastParallelJoinDeterministic) {
+  datagen::StringConfig config;
+  config.num_records = 300;
+  config.fixed_length = 14;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = 79;
+  const auto data = datagen::GenerateStrings(config);
+  EditFastAdapter adapter(editdist::CaseDecSearcher(&data, 2), &data, 3);
+  ExpectParallelJoinMatchesSequential(adapter);
+}
+
+TEST(EngineTest, EditFastJoinMatchesPivotalJoin) {
+  // The fast-path adapter and the pivotal adapter must produce the same
+  // unordered pair set over the same fixed-length collection.
+  datagen::StringConfig config;
+  config.num_records = 250;
+  config.fixed_length = 12;
+  config.duplicate_fraction = 0.5;
+  config.max_perturb_edits = 3;
+  config.seed = 101;
+  const auto data = datagen::GenerateStrings(config);
+  EditAdapter pivotal(editdist::EditDistanceSearcher(&data, 3, 2), &data,
+                      editdist::EditFilter::kRing, 3);
+  EditFastAdapter fast(editdist::CaseDecSearcher(&data, 3), &data, 3);
+  const auto expected = SelfJoin(pivotal, {});
+  const auto got = SelfJoin(fast, {});
+  EXPECT_EQ(got, expected);
+}
+
 TEST(EngineTest, GraphParallelJoinDeterministic) {
   datagen::GraphConfig config;
   config.num_graphs = 120;
@@ -181,6 +211,63 @@ TEST(EngineTest, SingleRecordJoinsToNothing) {
     EXPECT_TRUE(SelfJoin(adapter, options, &stats).empty());
     EXPECT_EQ(stats.candidates, 0);
   }
+}
+
+// Pins operator+= to the full field set of each stats struct. The
+// static_asserts fail compilation the moment a field is added, forcing
+// whoever adds it to extend operator+= and the expectations here together
+// (forgetting operator+= would silently drop the new counter from every
+// batch/join merge).
+TEST(EngineTest, QueryStatsMergeCoversEveryField) {
+  static_assert(sizeof(QueryStats) == 8 * sizeof(int64_t) + 3 * sizeof(double),
+                "QueryStats gained a field: update operator+= and this test");
+  QueryStats a;
+  a.candidates = 1;
+  a.candidates_stage2 = 2;
+  a.results = 3;
+  a.index_hits = 4;
+  a.chain_checks = 5;
+  a.subiso_tests = 6;
+  a.fast_path_candidates = 7;
+  a.fast_path_hits = 8;
+  a.filter_millis = 0.5;
+  a.verify_millis = 0.25;
+  a.total_millis = 0.125;
+  QueryStats sum = a;
+  sum += a;
+  EXPECT_EQ(sum.candidates, 2);
+  EXPECT_EQ(sum.candidates_stage2, 4);
+  EXPECT_EQ(sum.results, 6);
+  EXPECT_EQ(sum.index_hits, 8);
+  EXPECT_EQ(sum.chain_checks, 10);
+  EXPECT_EQ(sum.subiso_tests, 12);
+  EXPECT_EQ(sum.fast_path_candidates, 14);
+  EXPECT_EQ(sum.fast_path_hits, 16);
+  EXPECT_EQ(sum.filter_millis, 1.0);
+  EXPECT_EQ(sum.verify_millis, 0.5);
+  EXPECT_EQ(sum.total_millis, 0.25);
+  // Doubling every field of a distinct-valued struct reaches each field
+  // exactly once, so sum != a iff no field was skipped or double-counted.
+  QueryStats zero;
+  zero += a;
+  EXPECT_EQ(zero, a);
+}
+
+TEST(EngineTest, JoinStatsMergeCoversEveryField) {
+  static_assert(sizeof(JoinStats) == 2 * sizeof(int64_t) + sizeof(double),
+                "JoinStats gained a field: update operator+= and this test");
+  JoinStats a;
+  a.candidates = 11;
+  a.pairs = 13;
+  a.total_millis = 0.75;
+  JoinStats sum = a;
+  sum += a;
+  EXPECT_EQ(sum.candidates, 22);
+  EXPECT_EQ(sum.pairs, 26);
+  EXPECT_EQ(sum.total_millis, 1.5);
+  JoinStats zero;
+  zero += a;
+  EXPECT_EQ(zero, a);
 }
 
 TEST(EngineTest, SearchBatchPreservesInputOrder) {

@@ -118,6 +118,24 @@ std::vector<DomainIndex> BuildAllDomains() {
     indexes.push_back({"strings", spec, ReadFile(path)});
   }
   {
+    // The fixed-length fast path: its kEditFast* sections get the same
+    // hostile-mutation coverage as every other domain's sections.
+    IndexSpec spec;
+    spec.domain = Domain::kEdit;
+    spec.tau = 3;
+    spec.chain_length = 2;
+    spec.edit_fast_path = EditFastPath::kOn;
+    datagen::StringConfig config;
+    config.num_records = 80;
+    config.fixed_length = 10;
+    config.seed = 95;
+    auto db = Db::Open(spec, Dataset(datagen::GenerateStrings(config)));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    const std::string path = TempPath("corrupt_base_strings_fast.pgri");
+    EXPECT_TRUE(db->Save(path).ok());
+    indexes.push_back({"strings_fast", spec, ReadFile(path)});
+  }
+  {
     IndexSpec spec;
     spec.domain = Domain::kGraph;
     spec.tau = 1;

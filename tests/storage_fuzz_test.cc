@@ -181,7 +181,8 @@ TEST(StorageFuzzTest, RepairedMutationsReachTheDecoders) {
     // CRC, reading geometry from the (possibly mutated) TOC itself so the
     // repairs track the mutation instead of undoing it.
     for (size_t s = 0; s < ranges.size(); ++s) {
-      const size_t entry = static_cast<size_t>(toc) + s * storage::kTocEntrySize;
+      const size_t entry =
+          static_cast<size_t>(toc) + s * storage::kTocEntrySize;
       if (entry + storage::kTocEntrySize > image.size()) break;
       const uint64_t offset = read_u64(image, entry + 8);
       const uint64_t length = read_u64(image, entry + 16);
@@ -278,6 +279,71 @@ TEST(StorageFuzzTest, RepairedMutationsSetDomain) {
   const uint64_t toc = read_u64(base, storage::kTocOffsetOffset);
 
   Rng rng(0xDEADBEA7);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> image = base;
+    const auto& [id, range] = ranges[rng.NextBounded(ranges.size())];
+    if (range.second > range.first) {
+      const int edits = 1 + static_cast<int>(rng.NextBounded(8));
+      for (int e = 0; e < edits; ++e) {
+        const uint64_t at =
+            range.first + rng.NextBounded(range.second - range.first);
+        image[at] = static_cast<uint8_t>(rng.NextBounded(256));
+      }
+    }
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      const size_t entry =
+          static_cast<size_t>(toc) + s * storage::kTocEntrySize;
+      const uint64_t offset = read_u64(image, entry + 8);
+      const uint64_t length = read_u64(image, entry + 16);
+      const uint32_t crc = storage::Crc32c(image.data() + offset,
+                                           static_cast<size_t>(length));
+      for (int i = 0; i < 4; ++i) {
+        image[entry + 24 + i] = static_cast<uint8_t>(crc >> (8 * i));
+      }
+    }
+    const uint32_t toc_crc = storage::Crc32c(
+        image.data() + toc, ranges.size() * storage::kTocEntrySize);
+    for (int i = 0; i < 4; ++i) {
+      image[storage::kTocCrcOffset + i] =
+          static_cast<uint8_t>(toc_crc >> (8 * i));
+    }
+    storage::RepairHeaderCrc(image);
+    ExpectSettles(spec, image);
+  }
+}
+
+// And against the fixed-length fast path, whose decoder re-derives
+// signature rows from the strings section and must therefore keep the
+// strings / meta / postings sections mutually consistent under mutation.
+TEST(StorageFuzzTest, RepairedMutationsEditFastDomain) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 3;
+  spec.chain_length = 2;
+  spec.edit_fast_path = EditFastPath::kOn;
+  datagen::StringConfig config;
+  config.num_records = 40;
+  config.fixed_length = 10;
+  config.seed = 103;
+  auto db = Db::Open(spec, Dataset(datagen::GenerateStrings(config)));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const std::string path = ScratchPath();
+  ASSERT_TRUE(db->Save(path).ok());
+  const std::vector<uint8_t> base = ReadFile(path);
+
+  auto reader = storage::IndexFileReader::OpenFromBuffer(base);
+  ASSERT_TRUE(reader.ok());
+  const auto ranges = reader->SectionRanges();
+  auto read_u64 = [](const std::vector<uint8_t>& image, size_t offset) {
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(image[offset + i]) << (8 * i);
+    }
+    return value;
+  };
+  const uint64_t toc = read_u64(base, storage::kTocOffsetOffset);
+
+  Rng rng(0xFA57FA57);
   for (int iter = 0; iter < 200; ++iter) {
     std::vector<uint8_t> image = base;
     const auto& [id, range] = ranges[rng.NextBounded(ranges.size())];

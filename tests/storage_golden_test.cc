@@ -78,6 +78,16 @@ std::vector<std::string> GoldenStrings() {
   };
 }
 
+std::vector<std::string> GoldenFixedStrings() {
+  // One shared length (6) with substitution- and rotation-style
+  // near-duplicates, so the fast-path index has non-trivial postings in
+  // every indel case at tau = 2.
+  return {
+      "pigeon", "pigeop", "igeonp", "wrings", "wrings", "rrings",
+      "holesz", "wholes", "robins", "robinz", "obinsr", "zzzzzz",
+  };
+}
+
 std::vector<graphed::Graph> GoldenGraphs() {
   // Small labeled graphs: triangles, paths, and near-duplicates one edit
   // apart, so a tau=1 join has both matches and non-matches.
@@ -138,6 +148,15 @@ std::vector<GoldenCase> GoldenCases() {
     spec.chain_length = 2;
     spec.kappa = 2;
     cases.push_back({"golden_strings.pgri", spec, Dataset(GoldenStrings())});
+  }
+  {
+    IndexSpec spec;
+    spec.domain = Domain::kEdit;
+    spec.tau = 2;
+    spec.chain_length = 2;
+    spec.edit_fast_path = EditFastPath::kOn;
+    cases.push_back(
+        {"golden_strings_fast.pgri", spec, Dataset(GoldenFixedStrings())});
   }
   {
     IndexSpec spec;

@@ -68,6 +68,16 @@ std::vector<std::string> MakeStrings(int n, uint64_t seed) {
   return datagen::GenerateStrings(config);
 }
 
+std::vector<std::string> MakeFixedStrings(int n, int length, uint64_t seed) {
+  datagen::StringConfig config;
+  config.num_records = n;
+  config.fixed_length = length;
+  config.duplicate_fraction = 0.4;
+  config.max_perturb_edits = 2;
+  config.seed = seed;
+  return datagen::GenerateStrings(config);
+}
+
 std::vector<graphed::Graph> MakeGraphs(int n, uint64_t seed) {
   datagen::GraphConfig config;
   config.num_graphs = n;
@@ -191,6 +201,122 @@ TEST(StorageRoundtripTest, Edit) {
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   ExpectLoadedMatchesBuilt(*std::move(built), TempPath("rt_edit.pgri"),
                            SampleIds(150));
+}
+
+TEST(StorageRoundtripTest, EditFastPath) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 3;
+  spec.chain_length = 2;
+  spec.kappa = 2;
+  spec.edit_fast_path = EditFastPath::kOn;
+  auto built = Db::Open(spec, Dataset(MakeFixedStrings(150, 12, 84)));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->spec().edit_fast_path, EditFastPath::kOn);
+  ExpectLoadedMatchesBuilt(*std::move(built), TempPath("rt_editfast.pgri"),
+                           SampleIds(150));
+}
+
+// edit_fast_path is resolved at open time and persisted: a kAuto reopen
+// adopts the file's flag, while a contradicting explicit mode is a typed
+// FailedPrecondition (the index simply does not contain the sections the
+// other mode would need).
+TEST(StorageRoundtripTest, EditFastPathFlagResolutionOnOpenIndex) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 2;
+  spec.kappa = 2;
+  const auto data = MakeFixedStrings(120, 10, 85);
+  auto built = Db::Open(spec, Dataset(data));  // kAuto, eligible -> kOn
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->spec().edit_fast_path, EditFastPath::kOn);
+  const std::string path = TempPath("rt_editfast_flag.pgri");
+  ASSERT_TRUE(built->Save(path).ok());
+
+  IndexSpec as_auto = spec;
+  auto adopted = Db::OpenIndex(as_auto, path);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted->spec().edit_fast_path, EditFastPath::kOn);
+
+  IndexSpec as_on = spec;
+  as_on.edit_fast_path = EditFastPath::kOn;
+  EXPECT_TRUE(Db::OpenIndex(as_on, path).ok());
+
+  IndexSpec as_off = spec;
+  as_off.edit_fast_path = EditFastPath::kOff;
+  auto mismatched = Db::OpenIndex(as_off, path);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+
+  // The reverse contradiction: a pivotal-built file opened with kOn.
+  IndexSpec off_build = spec;
+  off_build.edit_fast_path = EditFastPath::kOff;
+  auto pivotal_built = Db::Open(off_build, Dataset(data));
+  ASSERT_TRUE(pivotal_built.ok()) << pivotal_built.status().ToString();
+  const std::string pivotal_path = TempPath("rt_editoff_flag.pgri");
+  ASSERT_TRUE(pivotal_built->Save(pivotal_path).ok());
+  auto on_over_off = Db::OpenIndex(as_on, pivotal_path);
+  ASSERT_FALSE(on_over_off.ok());
+  EXPECT_EQ(on_over_off.status().code(), StatusCode::kFailedPrecondition);
+  // And the kAuto reopen adopts kOff.
+  auto adopted_off = Db::OpenIndex(as_auto, pivotal_path);
+  ASSERT_TRUE(adopted_off.ok()) << adopted_off.status().ToString();
+  EXPECT_EQ(adopted_off->spec().edit_fast_path, EditFastPath::kOff);
+}
+
+TEST(StorageRoundtripTest, EditFastSaveIsDeterministic) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.chain_length = 2;
+  spec.edit_fast_path = EditFastPath::kOn;
+  auto built = Db::Open(spec, Dataset(MakeFixedStrings(100, 9, 86)));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::string first = TempPath("det_fast_a.pgri");
+  const std::string second = TempPath("det_fast_b.pgri");
+  const std::string resaved = TempPath("det_fast_c.pgri");
+  ASSERT_TRUE(built->Save(first).ok());
+  ASSERT_TRUE(built->Save(second).ok());
+  EXPECT_EQ(ReadFile(first), ReadFile(second));
+  auto loaded = Db::OpenIndex(spec, first);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->Save(resaved).ok());
+  EXPECT_EQ(ReadFile(first), ReadFile(resaved));
+}
+
+TEST(StorageRoundtripTest, EditFastEmptyAndSingleRecord) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 2;
+  spec.edit_fast_path = EditFastPath::kOn;
+
+  auto empty = Db::Open(spec, Dataset(std::vector<std::string>{}));
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  const std::string empty_path = TempPath("rt_editfast_empty.pgri");
+  ASSERT_TRUE(empty->Save(empty_path).ok());
+  auto empty_loaded = Db::OpenIndex(spec, empty_path);
+  ASSERT_TRUE(empty_loaded.ok()) << empty_loaded.status().ToString();
+  EXPECT_EQ(empty_loaded->num_records(), 0);
+  Session empty_session = empty_loaded->NewSession();
+  auto empty_join = empty_session.SelfJoin();
+  ASSERT_TRUE(empty_join.ok());
+  EXPECT_TRUE(empty_join->pairs.empty());
+
+  auto single =
+      Db::Open(spec, Dataset(std::vector<std::string>{"pigeonhole"}));
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  const std::string single_path = TempPath("rt_editfast_single.pgri");
+  ASSERT_TRUE(single->Save(single_path).ok());
+  auto single_loaded = Db::OpenIndex(spec, single_path);
+  ASSERT_TRUE(single_loaded.ok()) << single_loaded.status().ToString();
+  EXPECT_EQ(single_loaded->num_records(), 1);
+  auto query = single_loaded->RecordQuery(0);
+  ASSERT_TRUE(query.ok());
+  Session single_session = single_loaded->NewSession();
+  auto hit = single_session.Search(*query);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->ids, std::vector<int>{0});
 }
 
 TEST(StorageRoundtripTest, Graph) {

@@ -4,19 +4,20 @@
 //
 // Usage:
 //   pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE
-//       [--n N] [--seed S] [--dim D] [--bias B] [--avg A]
+//       [--n N] [--seed S] [--dim D] [--bias B] [--avg A] [--fixed L]
 //   pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE
 //       --out INDEX --tau T [--measure jaccard|overlap] [--kappa K]
+//       [--fast-path auto|on|off]
 //   pigeonring_cli search <hamming|sets|strings|graphs>
 //       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
-//       [--kappa K] [--alloc uniform|costmodel] [--threads N]
-//       [--clients N] [--stats kv]
+//       [--kappa K] [--fast-path auto|on|off] [--alloc uniform|costmodel]
+//       [--threads N] [--clients N] [--stats kv]
 //   pigeonring_cli join <hamming|sets|strings|graphs>
 //       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
-//       [--alloc uniform|costmodel] [--threads N] [--clients N]
-//       [--stats kv] [--print N]
+//       [--fast-path auto|on|off] [--alloc uniform|costmodel] [--threads N]
+//       [--clients N] [--stats kv] [--print N]
 //
 // `build` indexes a raw dataset once and persists the built state in the
 // storage layer's container format (storage/index_file.h); `search` /
@@ -26,6 +27,14 @@
 // with a typed kFailedPrecondition. Query-time flags (--chain, --alloc,
 // --threads, --clients) are free to differ from build time. Results are
 // byte-identical between --data and --index serving.
+//
+// --fast-path (strings only) selects the fixed-length case-decomposition
+// index: `on` demands a fixed-length dataset (a mixed-length dataset under
+// `on` is a usage error, exit 2), `off` forces the pivotal q-gram path,
+// and `auto` (default) lets the library's advisor decide; the resolved
+// choice is reported as stat.fast_path under --stats kv. Result ids and
+// pairs are byte-identical across all three modes — only the candidate
+// counters and timings move.
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
@@ -67,8 +76,10 @@
 #include "datagen/graphs.h"
 #include "datagen/strings.h"
 #include "datagen/token_sets.h"
+#include "editdist/casedec.h"
 #include "io/dataset_io.h"
 #include "kernels/kernels.h"
+#include "storage/index_file.h"
 
 namespace {
 
@@ -80,20 +91,23 @@ void Usage() {
       "usage:\n"
       "  pigeonring_cli gen    <vectors|sets|strings|graphs> --out FILE\n"
       "                        [--n N] [--seed S] [--dim D] [--bias B]\n"
-      "                        [--avg A]\n"
+      "                        [--avg A] [--fixed L]\n"
       "  pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE\n"
       "                        --out INDEX --tau T\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
       "  pigeonring_cli search <hamming|sets|strings|graphs>\n"
       "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L] [--queries N] [--seed S]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
       "                        [--alloc uniform|costmodel]\n"
       "                        [--threads N] [--clients N] [--stats kv]\n"
       "  pigeonring_cli join   <hamming|sets|strings|graphs>\n"
       "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
       "                        [--alloc uniform|costmodel]\n"
       "                        [--threads N] [--clients N] [--stats kv]\n"
       "                        [--print N]\n");
@@ -210,12 +224,16 @@ std::set<std::string> AllowedFlags(const std::string& command,
     } else {
       allowed.insert("avg");
     }
+    if (kind == "strings") allowed.insert("fixed");
     return allowed;
   }
   if (command == "build") {
     std::set<std::string> allowed = {"data", "out", "tau"};
     if (kind == "sets") allowed.insert("measure");
-    if (kind == "strings") allowed.insert("kappa");
+    if (kind == "strings") {
+      allowed.insert("kappa");
+      allowed.insert("fast-path");
+    }
     return allowed;
   }
   std::set<std::string> allowed = {"data",    "index",   "tau",   "chain",
@@ -224,7 +242,10 @@ std::set<std::string> AllowedFlags(const std::string& command,
   if (command == "join") allowed.insert("print");
   if (kind == "hamming") allowed.insert("alloc");
   if (kind == "sets") allowed.insert("measure");
-  if (kind == "strings") allowed.insert("kappa");
+  if (kind == "strings") {
+    allowed.insert("kappa");
+    allowed.insert("fast-path");
+  }
   return allowed;
 }
 
@@ -241,6 +262,43 @@ api::Db OpenFromFlags(const api::IndexSpec& spec, const Flags& flags) {
   }
   if (!index.empty()) return Unwrap(api::Db::OpenIndex(spec, index));
   return Unwrap(api::Db::Open(spec, data));
+}
+
+/// Parses --fast-path (default auto); an unknown value is a usage error.
+api::EditFastPath FastPathFromFlags(const Flags& flags) {
+  const std::string value = flags.Get("fast-path", "auto");
+  auto mode = api::ParseEditFastPath(value);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "unknown --fast-path mode '%s' (allowed: auto, on, "
+                         "off)\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return mode.value();
+}
+
+/// --fast-path on is part of the flag contract, not a property the user
+/// discovers after a full index build: when the dataset is raw (--data) and
+/// readable, a mixed-length collection under `on` is rejected up front as
+/// a usage error (exit 2), like any other invalid flag/data combination.
+/// Unreadable files and --index serving fall through — the library's typed
+/// errors (exit 1) cover those.
+void CheckFastPathUsable(const api::IndexSpec& spec, const Flags& flags) {
+  if (spec.domain != api::Domain::kEdit ||
+      spec.edit_fast_path != api::EditFastPath::kOn) {
+    return;
+  }
+  const std::string data = flags.Get("data", "");
+  if (data.empty() || storage::LooksLikeIndexFile(data)) return;
+  auto strings = io::LoadStrings(data);
+  if (!strings.ok()) return;
+  if (!editdist::CaseDecSearcher::Eligible(*strings)) {
+    std::fprintf(stderr,
+                 "--fast-path on requires a fixed-length dataset: every "
+                 "string in %s must share one length in [1, %d]\n",
+                 data.c_str(), editdist::CaseDecSearcher::kMaxLength);
+    std::exit(2);
+  }
 }
 
 /// True iff --stats kv was requested; any other --stats value exits 2.
@@ -276,6 +334,7 @@ int RunGen(const std::string& kind, const Flags& flags) {
     datagen::StringConfig config;
     config.num_records = n;
     config.avg_length = static_cast<int>(flags.GetInt("avg", 16));
+    config.fixed_length = static_cast<int>(flags.GetInt("fixed", 0));
     config.seed = seed;
     Check(io::SaveStrings(out, datagen::GenerateStrings(config)));
   } else if (kind == "graphs") {
@@ -299,6 +358,9 @@ int RunBuild(const std::string& kind, const Flags& flags) {
   spec.domain = domain.value();
   spec.tau = flags.RequireDouble("tau");
   spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  if (spec.domain == api::Domain::kEdit) {
+    spec.edit_fast_path = FastPathFromFlags(flags);
+  }
   const std::string measure = flags.Get("measure", "jaccard");
   if (measure == "jaccard") {
     spec.measure = setsim::SetMeasure::kJaccard;
@@ -308,6 +370,7 @@ int RunBuild(const std::string& kind, const Flags& flags) {
     std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
     std::exit(2);
   }
+  CheckFastPathUsable(spec, flags);
   const api::Db db = Unwrap(api::Db::Open(spec, flags.Require("data")));
   const std::string out = flags.Require("out");
   Check(db.Save(out));
@@ -337,6 +400,9 @@ api::IndexSpec SpecFromFlags(const std::string& kind, const Flags& flags,
       static_cast<int>(flags.GetInt("chain", default_chain));
   spec.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  if (spec.domain == api::Domain::kEdit) {
+    spec.edit_fast_path = FastPathFromFlags(flags);
+  }
   const std::string measure = flags.Get("measure", "jaccard");
   if (measure == "jaccard") {
     spec.measure = setsim::SetMeasure::kJaccard;
@@ -410,6 +476,7 @@ int RunSearch(const std::string& kind, const Flags& flags) {
   const bool stats_kv = StatsKv(flags);
   const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 1);
+  CheckFastPathUsable(spec, flags);
 
   const api::Db db = OpenFromFlags(spec, flags);
   if (db.num_records() == 0) {
@@ -449,6 +516,15 @@ int RunSearch(const std::string& kind, const Flags& flags) {
                 static_cast<long long>(totals.candidates));
     std::printf("stat.results=%lld\n",
                 static_cast<long long>(totals.results));
+    if (spec.domain == api::Domain::kEdit) {
+      // The resolved choice (never "auto" here: Open pins it down).
+      std::printf("stat.fast_path=%s\n",
+                  api::EditFastPathName(db.spec().edit_fast_path));
+      std::printf("stat.fast_path_candidates=%lld\n",
+                  static_cast<long long>(totals.fast_path_candidates));
+      std::printf("stat.fast_path_hits=%lld\n",
+                  static_cast<long long>(totals.fast_path_hits));
+    }
     std::printf("stat.millis=%.4f\n", totals.total_millis);
     std::printf("stat.wall_millis=%.4f\n", wall_millis);
   } else {
@@ -473,6 +549,7 @@ int RunJoin(const std::string& kind, const Flags& flags) {
   const bool stats_kv = StatsKv(flags);
   const int clients = ClientCount(flags);
   const api::IndexSpec spec = SpecFromFlags(kind, flags, 2);
+  CheckFastPathUsable(spec, flags);
 
   const api::Db db = OpenFromFlags(spec, flags);
   double wall_millis = 0;
@@ -497,6 +574,10 @@ int RunJoin(const std::string& kind, const Flags& flags) {
     std::printf("stat.pairs=%lld\n", static_cast<long long>(stats.pairs));
     std::printf("stat.candidates=%lld\n",
                 static_cast<long long>(stats.candidates));
+    if (spec.domain == api::Domain::kEdit) {
+      std::printf("stat.fast_path=%s\n",
+                  api::EditFastPathName(db.spec().edit_fast_path));
+    }
     std::printf("stat.millis=%.4f\n", stats.total_millis);
     std::printf("stat.wall_millis=%.4f\n", wall_millis);
   } else {
