@@ -18,19 +18,29 @@
 // (serialization throughput) vs Db::OpenIndex (open latency — the cold
 // start a served index avoids), and requires the loaded snapshot's
 // self-join to be byte-identical to the built one before any number is
-// reported. `--json FILE` additionally dumps the timings
+// reported. The churn panel prices the writer/epoch machinery: insert
+// throughput and reader p50/p99 while background compactions publish,
+// plus the candidate cost of searching through a pending delta vs the
+// compacted snapshot; its `quiesce_matches_rebuild` self-check (the
+// quiesced database must be byte- and result-identical to a cold rebuild
+// over its own records) fails the run like the fast-path parity check
+// does. `--json FILE` additionally dumps the timings
 // machine-readably; BENCH_engine.json at the repo root is a committed
 // baseline produced this way (see docs/BENCHMARKS.md for the protocol).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/db.h"
+#include "api/writer.h"
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/timer.h"
@@ -269,7 +279,8 @@ FacadePanel RunFacadePanel() {
                                  ? millis
                                  : std::min(panel.templated_millis, millis);
     watch.Restart();
-    auto batch = bench::BenchUnwrap(db.SearchBatch(facade_queries),
+    api::Session facade_session = db.NewSession();
+    auto batch = bench::BenchUnwrap(facade_session.SearchBatch(facade_queries),
                                     "facade SearchBatch");
     const double facade_millis = watch.ElapsedMillis();
     panel.facade_millis =
@@ -473,16 +484,19 @@ FastPathPanel RunFastPathPanel() {
   const int kRepeats = 3;
   api::RunOptions options;
   options.num_threads = 1;
+  api::Session fast_session = fast_db.NewSession();
+  api::Session pivotal_session = pivotal_db.NewSession();
   std::vector<engine::IdPair> fast_pairs, pivotal_pairs;
   for (int r = 0; r < kRepeats; ++r) {
-    auto fast = bench::BenchUnwrap(fast_db.SelfJoin(options), "fast join");
+    auto fast =
+        bench::BenchUnwrap(fast_session.SelfJoin(options), "fast join");
     panel.fast_millis = r == 0 ? fast.stats.total_millis
                                : std::min(panel.fast_millis,
                                           fast.stats.total_millis);
     panel.fast_candidates = fast.stats.candidates;
     fast_pairs = std::move(fast.pairs);
     auto pivotal =
-        bench::BenchUnwrap(pivotal_db.SelfJoin(options), "pivotal join");
+        bench::BenchUnwrap(pivotal_session.SelfJoin(options), "pivotal join");
     panel.pivotal_millis = r == 0 ? pivotal.stats.total_millis
                                   : std::min(panel.pivotal_millis,
                                              pivotal.stats.total_millis);
@@ -661,12 +675,232 @@ std::vector<StorageRow> RunStoragePanel() {
   return rows;
 }
 
+// Churn panel: the writer/epoch machinery under load. Three measurements:
+//
+//  1. delta vs compacted reads (deterministic, auto-compaction off): the
+//     same query batch through a snapshot carrying the whole insert pool
+//     as a pending delta, then again after Writer::Compact folds it in.
+//     The candidate gap is the price of the brute-force delta scan that
+//     compaction retires.
+//  2. concurrent churn: one writer inserts the pool (with removals mixed
+//     in) under a small delta_compact_threshold so background compactions
+//     publish repeatedly, while reader threads hammer fresh Sessions with
+//     the query batch. Reports insert throughput, observed compactions,
+//     and client-side read p50/p99 over the churn window.
+//  3. quiesce self-check: after the churn the delta is compacted and the
+//     database is compared against a cold Db::Open over its own records
+//     (reconstructed via RecordQuery) — Save bytes, self-join pairs and
+//     candidates must all match. Written to the JSON as
+//     `quiesce_matches_rebuild`; main() exits nonzero when it fails.
+struct ChurnPanel {
+  int base_records = 0;
+  int pool_records = 0;
+  int inserts = 0;
+  int removals = 0;
+  int64_t compactions = 0;
+  double insert_qps = 0;
+  double read_p50_millis = 0;
+  double read_p99_millis = 0;
+  int64_t delta_candidates = 0;
+  int64_t compacted_candidates = 0;
+  double delta_batch_millis = 0;
+  double compacted_batch_millis = 0;
+  bool quiesce_matches_rebuild = false;
+};
+
+ChurnPanel RunChurnPanel() {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = bench::Scaled(20000) + bench::Scaled(4000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9008;
+  const auto objects = datagen::GenerateBinaryVectors(config);
+  ChurnPanel panel;
+  panel.base_records = bench::Scaled(20000);
+  panel.pool_records = static_cast<int>(objects.size()) - panel.base_records;
+  const std::vector<BitVector> base(objects.begin(),
+                                    objects.begin() + panel.base_records);
+  const std::vector<BitVector> pool(objects.begin() + panel.base_records,
+                                    objects.end());
+
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  spec.num_threads = 1;
+
+  std::vector<api::Query> request;
+  {
+    Rng rng(9009);
+    for (int i = 0; i < bench::Scaled(50); ++i) {
+      request.push_back(
+          base[rng.NextBounded(static_cast<uint64_t>(base.size()))]);
+    }
+  }
+
+  // 1. Delta vs compacted reads, deterministic: auto-compaction disabled,
+  // the whole pool rides as a pending delta.
+  {
+    api::IndexSpec manual = spec;
+    manual.delta_compact_threshold = 0;
+    api::Db db = bench::BenchUnwrap(api::Db::Open(manual, api::Dataset(base)),
+                                    "open churn base");
+    auto writer = bench::BenchUnwrap(db.NewWriter(), "churn writer");
+    for (const BitVector& record : pool) {
+      bench::BenchUnwrap(writer.Insert(api::Query(record)), "delta insert");
+    }
+    api::Session delta_session = db.NewSession();
+    StopWatch watch;
+    auto delta_batch = bench::BenchUnwrap(delta_session.SearchBatch(request),
+                                          "delta batch");
+    panel.delta_batch_millis = watch.ElapsedMillis();
+    panel.delta_candidates = delta_batch.stats.candidates;
+    const Status compacted = writer.Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "FATAL: churn compact: %s\n",
+                   compacted.ToString().c_str());
+      std::exit(1);
+    }
+    api::Session compacted_session = db.NewSession();
+    watch.Restart();
+    auto compacted_batch = bench::BenchUnwrap(
+        compacted_session.SearchBatch(request), "compacted batch");
+    panel.compacted_batch_millis = watch.ElapsedMillis();
+    panel.compacted_candidates = compacted_batch.stats.candidates;
+  }
+
+  // 2. Concurrent churn: background compactions publish while readers
+  // measure. The threshold splits the pool into ~8 compaction rounds.
+  api::IndexSpec churn_spec = spec;
+  churn_spec.delta_compact_threshold =
+      std::max(16, panel.pool_records / 8);
+  api::Db db = bench::BenchUnwrap(
+      api::Db::Open(churn_spec, api::Dataset(base)), "open churn db");
+  std::atomic<bool> stop(false);
+  const int kReaders = 2;
+  std::vector<std::vector<double>> read_latencies(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        api::Session session = db.NewSession();
+        StopWatch request_watch;
+        auto batch = session.SearchBatch(request);
+        if (!batch.ok()) {
+          std::fprintf(stderr, "FATAL: churn read: %s\n",
+                       batch.status().ToString().c_str());
+          std::exit(1);
+        }
+        read_latencies[r].push_back(request_watch.ElapsedMillis());
+      }
+    });
+  }
+  {
+    auto writer = bench::BenchUnwrap(db.NewWriter(), "churn writer");
+    StopWatch wall;
+    int step = 0;
+    for (const BitVector& record : pool) {
+      if (step % 5 == 4) {
+        // Ids renumber at every published compaction, so just target a
+        // always-populated slot and accept the typed no-op.
+        const Status removed = writer.Remove(step % writer.num_records());
+        if (removed.ok()) ++panel.removals;
+      }
+      bench::BenchUnwrap(writer.Insert(api::Query(record)), "churn insert");
+      ++panel.inserts;
+      ++step;
+    }
+    panel.insert_qps =
+        panel.inserts / std::max(1e-9, wall.ElapsedMillis()) * 1000.0;
+    // ~Writer waits out the in-flight background compaction, if any.
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  panel.compactions = static_cast<int64_t>(db.epoch());
+  std::vector<double> all;
+  for (const auto& per_reader : read_latencies) {
+    all.insert(all.end(), per_reader.begin(), per_reader.end());
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    panel.read_p50_millis = all[all.size() / 2];
+    panel.read_p99_millis = all[static_cast<size_t>(0.99 * (all.size() - 1))];
+  }
+
+  // 3. Quiesce and compare against a cold rebuild over the database's own
+  // records.
+  {
+    auto writer = bench::BenchUnwrap(db.NewWriter(), "quiesce writer");
+    const Status compacted = writer.Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "FATAL: quiesce compact: %s\n",
+                   compacted.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<BitVector> survivors;
+  for (int i = 0; i < db.num_records(); ++i) {
+    auto query = bench::BenchUnwrap(db.RecordQuery(i), "record query");
+    survivors.push_back(std::get<BitVector>(query));
+  }
+  const api::Db cold = bench::BenchUnwrap(
+      api::Db::Open(churn_spec, api::Dataset(survivors)), "cold rebuild");
+  const auto save_bytes = [](const api::Db& snapshot,
+                             const std::string& name) {
+    namespace fs = std::filesystem;
+    const std::string path = (fs::temp_directory_path() / name).string();
+    const Status saved = snapshot.Save(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "FATAL: churn save: %s\n",
+                   saved.ToString().c_str());
+      std::exit(1);
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fs::remove(path);
+    return buffer.str();
+  };
+  api::Session churned_session = db.NewSession();
+  api::Session cold_session = cold.NewSession();
+  const api::JoinResult churned_join =
+      bench::BenchUnwrap(churned_session.SelfJoin(), "churned join");
+  const api::JoinResult cold_join =
+      bench::BenchUnwrap(cold_session.SelfJoin(), "cold join");
+  panel.quiesce_matches_rebuild =
+      save_bytes(db, "pigeonring_bench_churned.pgri") ==
+          save_bytes(cold, "pigeonring_bench_cold.pgri") &&
+      churned_join.pairs == cold_join.pairs &&
+      churned_join.stats.candidates == cold_join.stats.candidates;
+
+  Table out("churn panel: writer + background compaction vs readers "
+            "(hamming, 2 reader threads, 1 thread per request)",
+            {"base", "inserts", "removals", "insert/s", "compactions",
+             "read p50 (ms)", "read p99 (ms)", "delta cand.",
+             "compacted cand.", "quiesce"});
+  out.AddRow({Table::Int(panel.base_records), Table::Int(panel.inserts),
+              Table::Int(panel.removals), Table::Num(panel.insert_qps, 0),
+              Table::Int(panel.compactions),
+              Table::Num(panel.read_p50_millis, 3),
+              Table::Num(panel.read_p99_millis, 3),
+              Table::Int(panel.delta_candidates),
+              Table::Int(panel.compacted_candidates),
+              panel.quiesce_matches_rebuild ? "ok" : "DIVERGED"});
+  out.Print();
+  std::printf("\n");
+  return panel;
+}
+
 void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
                const KernelPanel& kernel, const FacadePanel& facade,
                const ClientsPanel& clients,
                const std::vector<StorageRow>& storage,
-               const FastPathPanel& fastpath) {
+               const FastPathPanel& fastpath, const ChurnPanel& churn) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -728,6 +962,20 @@ void WriteJson(const std::string& path,
                static_cast<long long>(fastpath.fast_candidates),
                fastpath.candidate_reduction,
                fastpath.parity ? "true" : "false");
+  std::fprintf(f,
+               "  \"churn_panel\": {\"base_records\": %d, \"inserts\": %d, "
+               "\"removals\": %d, \"insert_qps\": %.1f, \"compactions\": "
+               "%lld, \"read_p50_millis\": %.4f, \"read_p99_millis\": %.4f, "
+               "\"delta_candidates\": %lld, \"compacted_candidates\": %lld, "
+               "\"delta_batch_millis\": %.3f, \"compacted_batch_millis\": "
+               "%.3f, \"quiesce_matches_rebuild\": %s},\n",
+               churn.base_records, churn.inserts, churn.removals,
+               churn.insert_qps, static_cast<long long>(churn.compactions),
+               churn.read_p50_millis, churn.read_p99_millis,
+               static_cast<long long>(churn.delta_candidates),
+               static_cast<long long>(churn.compacted_candidates),
+               churn.delta_batch_millis, churn.compacted_batch_millis,
+               churn.quiesce_matches_rebuild ? "true" : "false");
   // Per-timing speedups are vs the sequential row of the same domain;
   // `oversubscribed` marks rows asking for more threads than the machine
   // has, where flat speedup is expected rather than a regression.
@@ -776,15 +1024,22 @@ int main(int argc, char** argv) {
   const ClientsPanel clients = RunClientsPanel();
   const std::vector<StorageRow> storage = RunStoragePanel();
   const FastPathPanel fastpath = RunFastPathPanel();
+  const ChurnPanel churn = RunChurnPanel();
   if (!json_path.empty()) {
     WriteJson(json_path, results, kernel, facade, clients, storage,
-              fastpath);
+              fastpath, churn);
   }
-  // The parity verdict is written to the JSON above even on failure so
-  // downstream tooling sees "parity": false rather than a missing file.
+  // The self-check verdicts are written to the JSON above even on failure
+  // so downstream tooling sees `false` rather than a missing file.
   if (!fastpath.parity) {
     std::fprintf(stderr,
                  "FATAL: fast-path self-join diverged from pivotal\n");
+    return 1;
+  }
+  if (!churn.quiesce_matches_rebuild) {
+    std::fprintf(stderr,
+                 "FATAL: quiesced churn database diverged from a cold "
+                 "rebuild over its own records\n");
     return 1;
   }
   return 0;

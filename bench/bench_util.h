@@ -124,7 +124,8 @@ inline std::vector<JoinTiming> RunDbJoinScalingTable(
       [&](int threads, engine::JoinStats* stats) {
         api::RunOptions options;
         options.num_threads = threads;
-        auto join = db.SelfJoin(options);
+        api::Session session = db.NewSession();
+        auto join = session.SelfJoin(options);
         if (!join.ok()) {
           std::fprintf(stderr, "FATAL: SelfJoin failed: %s\n",
                        join.status().ToString().c_str());

@@ -1,16 +1,22 @@
 #include "api/db.h"
 
+#include <algorithm>
+#include <limits>
+#include <type_traits>
 #include <utility>
 
 #include "api/internal.h"
 #include "core/advisor.h"
 #include "editdist/casedec.h"
 #include "editdist/pivotal.h"
+#include "editdist/verify.h"
 #include "engine/engine.h"
+#include "graphed/ged.h"
 #include "graphed/pars.h"
 #include "hamming/search.h"
 #include "io/dataset_io.h"
 #include "setsim/pkwise.h"
+#include "setsim/record.h"
 #include "storage/bytes.h"
 #include "storage/index_file.h"
 #include "storage/index_io.h"
@@ -31,6 +37,11 @@ Status QueryDomainError(Domain query_domain, Domain index_domain) {
 // its own copy (cheap — the searchers share their index state behind
 // shared_ptr) and forwards to the templated engine drivers, so the only
 // erased work per call is the query-list conversion.
+//
+// The delta hooks live on the models too: DeltaMatch is the domain's
+// exact threshold predicate — deliberately the same test the searchers'
+// verification step runs, so a record matched out of the delta side table
+// and the same record matched after compaction agree bit for bit.
 template <typename Derived, engine::Searcher S>
 class ModelBase : public AnySearcher {
  public:
@@ -41,6 +52,9 @@ class ModelBase : public AnySearcher {
   std::unique_ptr<AnyCursor> NewCursor() const override {
     return std::make_unique<Cursor>(derived(), adapter_);
   }
+
+  /// Domains without a ranked/raw duality pass probes through unchanged.
+  Query CanonicalizeProbe(const Query& query) const override { return query; }
 
  protected:
   class Cursor : public AnyCursor {
@@ -86,8 +100,8 @@ class ModelBase : public AnySearcher {
 
 class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
  public:
-  HammingModel(engine::HammingAdapter adapter, int dimensions)
-      : ModelBase(std::move(adapter)), dimensions_(dimensions) {}
+  HammingModel(engine::HammingAdapter adapter, int dimensions, int tau)
+      : ModelBase(std::move(adapter)), dimensions_(dimensions), tau_(tau) {}
 
   Status ValidateQuery(const Query& query) const override {
     if (!std::holds_alternative<BitVector>(query)) {
@@ -106,6 +120,29 @@ class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
     return Query(adapter_.query(id));
   }
 
+  StatusOr<Query> CanonicalizeInsert(const Query& query) const override {
+    Status valid = ValidateQuery(query);
+    if (!valid.ok()) return valid;
+    if (std::get<BitVector>(query).dimensions() < 1) {
+      return Status::InvalidArgument(
+          "cannot insert a 0-dimensional vector");
+    }
+    return query;
+  }
+
+  bool DeltaMatch(const Query& probe, const Query& record) const override {
+    // On an empty base a probe of any width validates; a width mismatch
+    // with the pending inserts is simply no match.
+    const BitVector& p = std::get<BitVector>(probe);
+    const BitVector& r = std::get<BitVector>(record);
+    return p.dimensions() == r.dimensions() &&
+           p.HammingDistance(r) <= tau_;
+  }
+
+  Dataset RawDataset() const override {
+    return adapter_.searcher().objects();
+  }
+
   const BitVector& ToDomain(const Query& query) const {
     return std::get<BitVector>(query);
   }
@@ -116,13 +153,27 @@ class HammingModel : public ModelBase<HammingModel, engine::HammingAdapter> {
 
  private:
   int dimensions_;
+  int tau_;
 };
 
 class SetModel : public ModelBase<SetModel, engine::SetAdapter> {
  public:
   SetModel(std::unique_ptr<setsim::SetCollection> collection,
-           engine::SetAdapter adapter)
-      : ModelBase(std::move(adapter)), collection_(std::move(collection)) {}
+           engine::SetAdapter adapter, double tau, setsim::SetMeasure measure)
+      : ModelBase(std::move(adapter)),
+        collection_(std::move(collection)),
+        tau_(tau),
+        measure_(measure),
+        rank_to_token_(collection_->universe_size()) {
+    for (const auto& [token, rank] : collection_->ExportDictionary()) {
+      // A well-formed dictionary is a permutation of [0, universe); a
+      // corrupted-but-decodable index file may not be. Skipping bad ranks
+      // keeps the no-crash contract — the storage tests load such files.
+      if (rank >= 0 && rank < static_cast<int>(rank_to_token_.size())) {
+        rank_to_token_[rank] = token;
+      }
+    }
+  }
 
   Status ValidateQuery(const Query& query) const override {
     if (!std::holds_alternative<SetQuery>(query)) {
@@ -132,7 +183,81 @@ class SetModel : public ModelBase<SetModel, engine::SetAdapter> {
   }
 
   StatusOr<Query> RecordQuery(int id) const override {
-    return Query(SetQuery{collection_->record(id), /*ranked=*/true});
+    return Query(SetQuery{RawRecord(id), /*ranked=*/false});
+  }
+
+  StatusOr<Query> CanonicalizeInsert(const Query& query) const override {
+    Status valid = ValidateQuery(query);
+    if (!valid.ok()) return valid;
+    const SetQuery& set_query = std::get<SetQuery>(query);
+    std::vector<int> tokens;
+    tokens.reserve(set_query.tokens.size());
+    if (set_query.ranked) {
+      // A ranked query only round-trips to tokens when every rank exists
+      // in the base dictionary; a placeholder token would insert garbage.
+      for (int rank : set_query.tokens) {
+        if (rank < 0 || rank >= static_cast<int>(rank_to_token_.size())) {
+          return Status::InvalidArgument(
+              "cannot insert a ranked set query: rank " +
+              std::to_string(rank) + " is outside the base dictionary [0, " +
+              std::to_string(rank_to_token_.size()) +
+              "); pass raw token ids instead");
+        }
+        tokens.push_back(rank_to_token_[rank]);
+      }
+    } else {
+      tokens = set_query.tokens;
+    }
+    SortUnique(tokens);
+    return Query(SetQuery{std::move(tokens), /*ranked=*/false});
+  }
+
+  Query CanonicalizeProbe(const Query& query) const override {
+    const SetQuery& set_query = std::get<SetQuery>(query);
+    std::vector<int> tokens;
+    tokens.reserve(set_query.tokens.size());
+    if (set_query.ranked) {
+      // Ranks outside the dictionary (possible only for hand-built
+      // queries) become unique placeholder tokens: inert for matching but
+      // still counted in set sizes, mirroring MapQuery's treatment of
+      // unseen raw tokens.
+      int placeholders = 0;
+      for (int rank : set_query.tokens) {
+        if (rank >= 0 && rank < static_cast<int>(rank_to_token_.size())) {
+          tokens.push_back(rank_to_token_[rank]);
+        } else {
+          tokens.push_back(std::numeric_limits<int>::min() + placeholders++);
+        }
+      }
+    } else {
+      tokens = set_query.tokens;
+    }
+    SortUnique(tokens);
+    return Query(SetQuery{std::move(tokens), /*ranked=*/false});
+  }
+
+  bool DeltaMatch(const Query& probe, const Query& record) const override {
+    // Both sides are canonical: raw tokens, sorted and deduplicated.
+    // Exactly the predicate the pkwise searcher verifies with, expressed
+    // in token space (overlap is invariant under the rank relabeling).
+    const std::vector<int>& x = std::get<SetQuery>(probe).tokens;
+    const std::vector<int>& y = std::get<SetQuery>(record).tokens;
+    if (measure_ == setsim::SetMeasure::kJaccard) {
+      return setsim::OverlapAtLeast(
+          x, y,
+          setsim::JaccardOverlapThreshold(static_cast<int>(x.size()),
+                                          static_cast<int>(y.size()), tau_));
+    }
+    return setsim::OverlapAtLeast(x, y, static_cast<int>(tau_));
+  }
+
+  Dataset RawDataset() const override {
+    std::vector<std::vector<int>> raw;
+    raw.reserve(collection_->num_records());
+    for (int id = 0; id < collection_->num_records(); ++id) {
+      raw.push_back(RawRecord(id));
+    }
+    return raw;
   }
 
   setsim::RankedSet ToDomain(const Query& query) const {
@@ -146,14 +271,40 @@ class SetModel : public ModelBase<SetModel, engine::SetAdapter> {
   }
 
  private:
+  static void SortUnique(std::vector<int>& tokens) {
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  }
+
+  /// Record `id` unranked back to raw token ids, sorted ascending. A
+  /// well-formed record's ranks are always within the dictionary; ranks a
+  /// corrupted index file smuggled past the decoder map to themselves
+  /// (no-crash contract — the result is garbage either way).
+  std::vector<int> RawRecord(int id) const {
+    const setsim::RankedSet& ranks = collection_->record(id);
+    std::vector<int> tokens;
+    tokens.reserve(ranks.size());
+    for (int rank : ranks) {
+      tokens.push_back(rank >= 0 &&
+                               rank < static_cast<int>(rank_to_token_.size())
+                           ? rank_to_token_[rank]
+                           : rank);
+    }
+    std::sort(tokens.begin(), tokens.end());
+    return tokens;
+  }
+
   std::unique_ptr<setsim::SetCollection> collection_;
+  double tau_;
+  setsim::SetMeasure measure_;
+  std::vector<int> rank_to_token_;  // inverse of the frequency dictionary
 };
 
 class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
  public:
   EditModel(std::unique_ptr<std::vector<std::string>> data,
-            engine::EditAdapter adapter)
-      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+            engine::EditAdapter adapter, int tau)
+      : ModelBase(std::move(adapter)), data_(std::move(data)), tau_(tau) {}
 
   Status ValidateQuery(const Query& query) const override {
     if (!std::holds_alternative<std::string>(query)) {
@@ -165,6 +316,20 @@ class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
   StatusOr<Query> RecordQuery(int id) const override {
     return Query((*data_)[id]);
   }
+
+  StatusOr<Query> CanonicalizeInsert(const Query& query) const override {
+    Status valid = ValidateQuery(query);
+    if (!valid.ok()) return valid;
+    return query;
+  }
+
+  bool DeltaMatch(const Query& probe, const Query& record) const override {
+    const std::string& a = std::get<std::string>(probe);
+    const std::string& b = std::get<std::string>(record);
+    return editdist::BandedEditDistance(a, b, tau_) <= tau_;
+  }
+
+  Dataset RawDataset() const override { return *data_; }
 
   const std::string& ToDomain(const Query& query) const {
     return std::get<std::string>(query);
@@ -176,14 +341,15 @@ class EditModel : public ModelBase<EditModel, engine::EditAdapter> {
 
  private:
   std::unique_ptr<std::vector<std::string>> data_;
+  int tau_;
 };
 
 class EditFastModel
     : public ModelBase<EditFastModel, engine::EditFastAdapter> {
  public:
   EditFastModel(std::unique_ptr<std::vector<std::string>> data,
-                engine::EditFastAdapter adapter)
-      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+                engine::EditFastAdapter adapter, int tau)
+      : ModelBase(std::move(adapter)), data_(std::move(data)), tau_(tau) {}
 
   Status ValidateQuery(const Query& query) const override {
     if (!std::holds_alternative<std::string>(query)) {
@@ -196,6 +362,42 @@ class EditFastModel
     return Query((*data_)[id]);
   }
 
+  StatusOr<Query> CanonicalizeInsert(const Query& query) const override {
+    Status valid = ValidateQuery(query);
+    if (!valid.ok()) return valid;
+    // The case-decomposition index only covers one fixed length; inserts
+    // must keep the collection eligible so compaction can rebuild under
+    // the resolved edit_fast_path=on. (On an empty base any legal length
+    // is fine; the writer cross-checks pending inserts against each
+    // other.)
+    const std::string& s = std::get<std::string>(query);
+    const int max_length = editdist::CaseDecSearcher::kMaxLength;
+    if (!data_->empty()) {
+      const int length = static_cast<int>(data_->front().size());
+      if (static_cast<int>(s.size()) != length) {
+        return Status::InvalidArgument(
+            "edit_fast_path=on indexes fixed-length strings: cannot "
+            "insert a " +
+            std::to_string(s.size()) + "-char string into a length-" +
+            std::to_string(length) + " collection");
+      }
+    } else if (s.empty() ||
+               static_cast<int>(s.size()) > max_length) {
+      return Status::InvalidArgument(
+          "edit_fast_path=on requires string lengths in [1, " +
+          std::to_string(max_length) + "]");
+    }
+    return query;
+  }
+
+  bool DeltaMatch(const Query& probe, const Query& record) const override {
+    const std::string& a = std::get<std::string>(probe);
+    const std::string& b = std::get<std::string>(record);
+    return editdist::BandedEditDistance(a, b, tau_) <= tau_;
+  }
+
+  Dataset RawDataset() const override { return *data_; }
+
   const std::string& ToDomain(const Query& query) const {
     return std::get<std::string>(query);
   }
@@ -206,13 +408,14 @@ class EditFastModel
 
  private:
   std::unique_ptr<std::vector<std::string>> data_;
+  int tau_;
 };
 
 class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
  public:
   GraphModel(std::unique_ptr<std::vector<graphed::Graph>> data,
-             engine::GraphAdapter adapter)
-      : ModelBase(std::move(adapter)), data_(std::move(data)) {}
+             engine::GraphAdapter adapter, int tau)
+      : ModelBase(std::move(adapter)), data_(std::move(data)), tau_(tau) {}
 
   Status ValidateQuery(const Query& query) const override {
     if (!std::holds_alternative<graphed::Graph>(query)) {
@@ -225,6 +428,20 @@ class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
     return Query((*data_)[id]);
   }
 
+  StatusOr<Query> CanonicalizeInsert(const Query& query) const override {
+    Status valid = ValidateQuery(query);
+    if (!valid.ok()) return valid;
+    return query;
+  }
+
+  bool DeltaMatch(const Query& probe, const Query& record) const override {
+    return graphed::GraphEditDistanceWithin(std::get<graphed::Graph>(probe),
+                                            std::get<graphed::Graph>(record),
+                                            tau_) <= tau_;
+  }
+
+  Dataset RawDataset() const override { return *data_; }
+
   const graphed::Graph& ToDomain(const Query& query) const {
     return std::get<graphed::Graph>(query);
   }
@@ -235,6 +452,7 @@ class GraphModel : public ModelBase<GraphModel, engine::GraphAdapter> {
 
  private:
   std::unique_ptr<std::vector<graphed::Graph>> data_;
+  int tau_;
 };
 
 bool RingEnabled(const IndexSpec& spec) {
@@ -298,8 +516,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildHamming(
   engine::HammingAdapter adapter(
       hamming::HammingSearcher(std::move(objects), num_parts),
       static_cast<int>(spec.tau), chain, spec.allocation);
-  return std::unique_ptr<const AnySearcher>(
-      new HammingModel(std::move(adapter), dimensions));
+  return std::unique_ptr<const AnySearcher>(new HammingModel(
+      std::move(adapter), dimensions, static_cast<int>(spec.tau)));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> BuildSet(
@@ -310,7 +528,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildSet(
   const int chain = RingEnabled(spec) ? spec.chain_length : 1;
   engine::SetAdapter adapter(std::move(searcher), collection.get(), chain);
   return std::unique_ptr<const AnySearcher>(
-      new SetModel(std::move(collection), std::move(adapter)));
+      new SetModel(std::move(collection), std::move(adapter), spec.tau,
+                   spec.measure));
 }
 
 /// Resolves edit_fast_path=kAuto against the dataset's shape (kOn / kOff
@@ -334,6 +553,15 @@ Status ResolveEditFastPath(IndexSpec& spec,
     case EditFastPath::kAuto:
       break;
   }
+  // An empty collection gives the advisor nothing to go on, and the fast
+  // path would latch every future Writer::Insert to one string length.
+  // Resolve kAuto to the permissive pivotal path so an empty database can
+  // grow arbitrary strings; kOn stays available for callers who want the
+  // fixed-length contract from the start.
+  if (data.empty()) {
+    spec.edit_fast_path = EditFastPath::kOff;
+    return Status::Ok();
+  }
   const core::EditFastPathAdvice advice = core::AdviseEditFastPath(
       static_cast<int64_t>(data.size()), uniform_length,
       static_cast<int>(spec.tau));
@@ -354,7 +582,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildEdit(
     engine::EditFastAdapter adapter(std::move(searcher), data.get(),
                                     spec.chain_length);
     return std::unique_ptr<const AnySearcher>(
-        new EditFastModel(std::move(data), std::move(adapter)));
+        new EditFastModel(std::move(data), std::move(adapter),
+                          static_cast<int>(spec.tau)));
   }
   editdist::EditDistanceSearcher searcher(
       data.get(), static_cast<int>(spec.tau), spec.kappa);
@@ -363,8 +592,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildEdit(
                                           : editdist::EditFilter::kPivotal;
   engine::EditAdapter adapter(std::move(searcher), data.get(), filter,
                               spec.chain_length);
-  return std::unique_ptr<const AnySearcher>(
-      new EditModel(std::move(data), std::move(adapter)));
+  return std::unique_ptr<const AnySearcher>(new EditModel(
+      std::move(data), std::move(adapter), static_cast<int>(spec.tau)));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> BuildGraph(
@@ -378,8 +607,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> BuildGraph(
                                           : graphed::GraphFilter::kPars;
   engine::GraphAdapter adapter(std::move(searcher), data.get(), filter,
                                spec.chain_length);
-  return std::unique_ptr<const AnySearcher>(
-      new GraphModel(std::move(data), std::move(adapter)));
+  return std::unique_ptr<const AnySearcher>(new GraphModel(
+      std::move(data), std::move(adapter), static_cast<int>(spec.tau)));
 }
 
 // --- Persisted-index support ---
@@ -513,8 +742,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadHamming(
       hamming::HammingSearcher::FromBuilt(std::move(loaded->objects),
                                           std::move(loaded->index)),
       static_cast<int>(spec.tau), chain, spec.allocation);
-  return std::unique_ptr<const AnySearcher>(
-      new HammingModel(std::move(adapter), dimensions));
+  return std::unique_ptr<const AnySearcher>(new HammingModel(
+      std::move(adapter), dimensions, static_cast<int>(spec.tau)));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> LoadSet(
@@ -528,7 +757,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadSet(
   engine::SetAdapter adapter(std::move(searcher), loaded->collection.get(),
                              chain);
   return std::unique_ptr<const AnySearcher>(
-      new SetModel(std::move(loaded->collection), std::move(adapter)));
+      new SetModel(std::move(loaded->collection), std::move(adapter),
+                   spec.tau, spec.measure));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> LoadEditFast(
@@ -542,7 +772,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadEditFast(
   engine::EditFastAdapter adapter(std::move(searcher), loaded->data.get(),
                                   spec.chain_length);
   return std::unique_ptr<const AnySearcher>(
-      new EditFastModel(std::move(loaded->data), std::move(adapter)));
+      new EditFastModel(std::move(loaded->data), std::move(adapter),
+                        static_cast<int>(spec.tau)));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> LoadEdit(
@@ -563,7 +794,8 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadEdit(
   engine::EditAdapter adapter(std::move(searcher), loaded->data.get(),
                               filter, spec.chain_length);
   return std::unique_ptr<const AnySearcher>(
-      new EditModel(std::move(loaded->data), std::move(adapter)));
+      new EditModel(std::move(loaded->data), std::move(adapter),
+                    static_cast<int>(spec.tau)));
 }
 
 StatusOr<std::unique_ptr<const AnySearcher>> LoadGraph(
@@ -580,25 +812,94 @@ StatusOr<std::unique_ptr<const AnySearcher>> LoadGraph(
   engine::GraphAdapter adapter(std::move(searcher), loaded->data.get(),
                                filter, spec.chain_length);
   return std::unique_ptr<const AnySearcher>(
-      new GraphModel(std::move(loaded->data), std::move(adapter)));
+      new GraphModel(std::move(loaded->data), std::move(adapter),
+                     static_cast<int>(spec.tau)));
+}
+
+/// Wraps a fresh searcher + executor into an epoch-0 hub.
+std::shared_ptr<DbHub> MakeHub(
+    IndexSpec spec, std::unique_ptr<const AnySearcher> searcher) {
+  auto state = std::make_shared<DbState>();
+  state->spec = std::move(spec);
+  state->searcher =
+      std::shared_ptr<const AnySearcher>(std::move(searcher));
+  // The snapshot-scoped executor starts at the spec's default width and
+  // grows (once per width) when a RunOptions override asks for more.
+  state->executor =
+      std::make_unique<engine::Executor>(state->spec.num_threads);
+  auto hub = std::make_shared<DbHub>();
+  hub->current = std::move(state);
+  hub->delta = std::make_shared<DeltaSnapshot>();
+  return hub;
 }
 
 }  // namespace
+
+StatusOr<std::unique_ptr<const AnySearcher>> BuildSearcher(IndexSpec& spec,
+                                                           Dataset dataset) {
+  switch (spec.domain) {
+    case Domain::kHamming:
+      return BuildHamming(
+          spec, std::get<std::vector<BitVector>>(std::move(dataset)));
+    case Domain::kSet:
+      return BuildSet(
+          spec, std::get<std::vector<std::vector<int>>>(std::move(dataset)));
+    case Domain::kEdit:
+      return BuildEdit(spec,
+                       std::get<std::vector<std::string>>(std::move(dataset)));
+    case Domain::kGraph:
+      break;
+  }
+  return BuildGraph(spec,
+                    std::get<std::vector<graphed::Graph>>(std::move(dataset)));
+}
+
+StatusOr<std::unique_ptr<const AnySearcher>> RebuildWithDelta(
+    const IndexSpec& spec, const AnySearcher& base,
+    const DeltaSnapshot& delta) {
+  // Reconstruct the merged raw dataset in post-compaction id order: base
+  // survivors in id order, then live inserts in log order. A cold
+  // Db::Open over this dataset builds the identical searcher — the
+  // byte-identity the churn tests pin.
+  Dataset dataset = base.RawDataset();
+  std::visit(
+      [&delta](auto& records) {
+        using Records = std::decay_t<decltype(records)>;
+        using T = typename Records::value_type;
+        if (!delta.removed_base.empty()) {
+          Records kept;
+          kept.reserve(records.size() - delta.removed_base.size());
+          for (int id = 0; id < static_cast<int>(records.size()); ++id) {
+            if (!engine::SortedContains(delta.removed_base, id)) {
+              kept.push_back(std::move(records[id]));
+            }
+          }
+          records = std::move(kept);
+        }
+        for (int k = 0; k < static_cast<int>(delta.inserts.size()); ++k) {
+          if (engine::SortedContains(delta.removed_delta, k)) continue;
+          if constexpr (std::is_same_v<T, std::vector<int>>) {
+            records.push_back(std::get<SetQuery>(delta.inserts[k]).tokens);
+          } else {
+            records.push_back(std::get<T>(delta.inserts[k]));
+          }
+        }
+      },
+      dataset);
+  // The spec is already resolved (edit_fast_path is kOn or kOff, never
+  // kAuto), so the rebuild cannot silently switch pipelines mid-life.
+  IndexSpec resolved = spec;
+  return BuildSearcher(resolved, std::move(dataset));
+}
+
 }  // namespace internal
 
-Db::Db(std::shared_ptr<const internal::DbState> state)
-    : state_(std::move(state)) {}
+Db::Db(std::shared_ptr<internal::DbHub> hub)
+    : hub_(std::move(hub)), spec_(hub_->current->spec) {}
 
-// Copies share the snapshot; the shim session (if any) stays with its
-// original handle — each handle mints its own lazily.
-Db::Db(const Db& other) : state_(other.state_) {}
-Db& Db::operator=(const Db& other) {
-  if (this != &other) {
-    state_ = other.state_;
-    shim_session_.reset();
-  }
-  return *this;
-}
+// Copies share the hub (and so the epochs and any writer's mutations).
+Db::Db(const Db& other) = default;
+Db& Db::operator=(const Db& other) = default;
 Db::Db(Db&&) noexcept = default;
 Db& Db::operator=(Db&&) noexcept = default;
 Db::~Db() = default;
@@ -611,36 +912,14 @@ StatusOr<Db> Db::Open(const IndexSpec& spec, Dataset dataset) {
         "dataset holds " + std::string(DomainName(DatasetDomain(dataset))) +
         " records but the spec's domain is " + DomainName(spec.domain));
   }
-  // BuildEdit resolves edit_fast_path=kAuto against the dataset's shape;
-  // the resolved spec is what the snapshot reports and what Save persists.
+  // BuildSearcher resolves edit_fast_path=kAuto against the dataset's
+  // shape; the resolved spec is what the database reports, what Save
+  // persists, and what every compaction rebuilds under.
   IndexSpec resolved = spec;
-  StatusOr<std::unique_ptr<const internal::AnySearcher>> searcher = [&] {
-    switch (resolved.domain) {
-      case Domain::kHamming:
-        return internal::BuildHamming(
-            resolved, std::get<std::vector<BitVector>>(std::move(dataset)));
-      case Domain::kSet:
-        return internal::BuildSet(
-            resolved,
-            std::get<std::vector<std::vector<int>>>(std::move(dataset)));
-      case Domain::kEdit:
-        return internal::BuildEdit(
-            resolved, std::get<std::vector<std::string>>(std::move(dataset)));
-      case Domain::kGraph:
-        break;
-    }
-    return internal::BuildGraph(
-        resolved, std::get<std::vector<graphed::Graph>>(std::move(dataset)));
-  }();
+  auto searcher = internal::BuildSearcher(resolved, std::move(dataset));
   if (!searcher.ok()) return searcher.status();
-  auto state = std::make_shared<internal::DbState>();
-  state->spec = resolved;
-  state->searcher =
-      std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
-  // The snapshot-scoped executor starts at the spec's default width and
-  // grows (once per width) when a RunOptions override asks for more.
-  state->executor = std::make_unique<engine::Executor>(spec.num_threads);
-  return Db(std::shared_ptr<const internal::DbState>(std::move(state)));
+  return Db(internal::MakeHub(std::move(resolved),
+                              std::move(searcher).value()));
 }
 
 StatusOr<Db> Db::Open(const IndexSpec& spec,
@@ -718,52 +997,69 @@ StatusOr<Db> Db::OpenIndex(const IndexSpec& spec,
     return internal::LoadGraph(resolved, *reader);
   }();
   if (!searcher.ok()) return searcher.status();
-  auto state = std::make_shared<internal::DbState>();
-  state->spec = resolved;
-  state->searcher =
-      std::shared_ptr<const internal::AnySearcher>(std::move(searcher).value());
-  state->executor = std::make_unique<engine::Executor>(spec.num_threads);
-  return Db(std::shared_ptr<const internal::DbState>(std::move(state)));
+  return Db(internal::MakeHub(std::move(resolved),
+                              std::move(searcher).value()));
 }
 
 Status Db::Save(const std::string& path) const {
+  // Freeze a consistent (epoch, delta) pair; with pending mutations the
+  // compacted state is serialized (without publishing it), so the file is
+  // byte-identical to saving after Writer::Compact().
+  internal::HubView view = internal::AcquireView(*hub_);
+  const internal::AnySearcher* to_save = view.state->searcher.get();
+  std::unique_ptr<const internal::AnySearcher> compacted;
+  if (!view.delta->Empty()) {
+    auto rebuilt = internal::RebuildWithDelta(view.state->spec,
+                                              *view.state->searcher,
+                                              *view.delta);
+    if (!rebuilt.ok()) return rebuilt.status();
+    compacted = std::move(rebuilt).value();
+    to_save = compacted.get();
+  }
   storage::IndexFileWriter writer;
-  internal::AddSpecSection(state_->spec, writer);
-  state_->searcher->SaveSections(writer);
-  return writer.WriteTo(path, static_cast<uint32_t>(state_->spec.domain),
-                        BuildFingerprint(state_->spec));
+  internal::AddSpecSection(view.state->spec, writer);
+  to_save->SaveSections(writer);
+  return writer.WriteTo(path, static_cast<uint32_t>(view.state->spec.domain),
+                        BuildFingerprint(view.state->spec));
 }
 
-const IndexSpec& Db::spec() const { return state_->spec; }
+const IndexSpec& Db::spec() const { return spec_; }
 
-Domain Db::domain() const { return state_->spec.domain; }
+Domain Db::domain() const { return spec_.domain; }
 
-int Db::num_records() const { return state_->searcher->size(); }
+int Db::num_records() const {
+  internal::HubView view = internal::AcquireView(*hub_);
+  return internal::MergedSize(*view.state->searcher, *view.delta);
+}
 
 StatusOr<Query> Db::RecordQuery(int id) const {
-  return internal::RecordQueryOf(*state_->searcher, id);
+  internal::HubView view = internal::AcquireView(*hub_);
+  return internal::MergedRecordQuery(*view.state->searcher, *view.delta, id);
 }
 
-Session Db::NewSession() const { return Session(state_); }
+uint64_t Db::epoch() const {
+  return internal::AcquireView(*hub_).epoch;
+}
 
-Session& Db::ShimSession() {
-  if (shim_session_ == nullptr) {
-    shim_session_ = std::unique_ptr<Session>(new Session(state_));
+Session Db::NewSession() const {
+  internal::HubView view = internal::AcquireView(*hub_);
+  return Session(std::move(view.state), std::move(view.delta));
+}
+
+StatusOr<Writer> Db::NewWriter() const {
+  std::shared_ptr<const internal::DbState> retired;
+  {
+    std::lock_guard<std::mutex> lock(hub_->mu);
+    retired = internal::InstallPendingLocked(*hub_);
+    if (hub_->writer_alive) {
+      return Status::FailedPrecondition(
+          "a Writer for this database is already active (single-writer, "
+          "many-reader); destroy it before minting another");
+    }
+    hub_->writer_alive = true;
   }
-  return *shim_session_;
-}
-
-StatusOr<SearchResult> Db::Search(const Query& query) {
-  return ShimSession().Search(query);
-}
-
-StatusOr<BatchResult> Db::SearchBatch(const std::vector<Query>& queries,
-                                      const RunOptions& options) {
-  return ShimSession().SearchBatch(queries, options);
-}
-
-StatusOr<JoinResult> Db::SelfJoin(const RunOptions& options) {
-  return ShimSession().SelfJoin(options);
+  // `retired` (if any) dies here, on a user thread and outside the lock.
+  return Writer(hub_, spec_);
 }
 
 }  // namespace pigeonring::api

@@ -2,10 +2,11 @@
 //
 // A Db is opened from a declarative IndexSpec plus a dataset (in memory or
 // on disk) and answers thresholded similarity queries in whichever of the
-// four §6 domains the spec names. Since the concurrent-service redesign a
-// Db is a cheap handle on an immutable *snapshot* — the domain index, the
-// collection, and a persistent engine::Executor — and the per-caller query
-// state lives in api::Session (api/session.h):
+// four §6 domains the spec names. A Db is a cheap handle on an epoch of
+// immutable state — the domain index, the collection, and a persistent
+// engine::Executor — and all querying goes through per-caller handles:
+// api::Session for reads (api/session.h), api::Writer for mutations
+// (api/writer.h):
 //
 //   auto db = api::Db::Open(spec, "vectors.ds");
 //   if (!db.ok()) { ... db.status() ... }
@@ -14,12 +15,17 @@
 //   auto batch  = session.SearchBatch(queries);    // StatusOr<BatchResult>
 //   auto join   = session.SelfJoin();              // StatusOr<JoinResult>
 //   auto future = session.SubmitBatch(queries);    // Future<BatchResult>
+//   auto writer = db->NewWriter();                 // StatusOr<Writer>
+//
+// (The transitional Db::Search / SearchBatch / SelfJoin shims are gone:
+// Sessions and Writers are the only call surface.)
 //
 // Sharing: a Db is copyable and movable; copies are handles on the same
-// snapshot. Everything on Db itself is const and concurrently callable —
-// any number of threads may hold the same Db (or copies of it) and mint
-// Sessions from it. Sessions pin the snapshot, so they and their in-flight
-// futures survive the Db handle's destruction.
+// database — they observe the same epochs and the same Writer mutations.
+// Everything on Db itself is const and concurrently callable — any number
+// of threads may hold the same Db (or copies of it) and mint Sessions
+// from it. Sessions pin their epoch, so they and their in-flight futures
+// survive the Db handle's destruction.
 //
 // Every fallible step returns Status / StatusOr — spec validation, dataset
 // loading, query/domain mismatches — never exit() or a PR_CHECK abort.
@@ -40,11 +46,6 @@
 // executor — no thread pool is constructed on the steady-state query path.
 // Results are byte-identical at every thread count and under any number of
 // concurrent sessions (the engine's determinism guarantee).
-//
-// DEPRECATED shims: Search / SearchBatch / SelfJoin also still exist
-// directly on Db for one release, implemented over an internal Session.
-// They are NOT concurrently callable (the internal session's scratch is
-// shared) — new code should hold a Session per caller instead.
 
 #ifndef PIGEONRING_API_DB_H_
 #define PIGEONRING_API_DB_H_
@@ -55,6 +56,7 @@
 
 #include "api/session.h"
 #include "api/spec.h"
+#include "api/writer.h"
 #include "common/status.h"
 
 namespace pigeonring::api {
@@ -86,13 +88,16 @@ class Db {
   static StatusOr<Db> OpenIndex(const IndexSpec& spec,
                                 const std::string& index_path);
 
-  /// Persists this snapshot's built state (collection + every derived index
-  /// structure) to `path` in the storage layer's container format,
-  /// replacing any existing file. Deterministic: saving the same snapshot
-  /// twice produces byte-identical files.
+  /// Persists this database's built state (collection + every derived
+  /// index structure) to `path` in the storage layer's container format,
+  /// replacing any existing file. If a Writer holds pending mutations, the
+  /// *compacted* state is serialized — the saved file is byte-identical to
+  /// saving after Writer::Compact(), and reopening it yields the merged
+  /// records. Deterministic: saving the same state twice produces
+  /// byte-identical files.
   Status Save(const std::string& path) const;
 
-  /// Copies are cheap handles on the same immutable snapshot.
+  /// Copies are cheap handles on the same database.
   Db(const Db& other);
   Db& operator=(const Db& other);
   Db(Db&&) noexcept;
@@ -101,38 +106,39 @@ class Db {
 
   const IndexSpec& spec() const;
   Domain domain() const;
+
+  /// Record count of the current epoch including live pending inserts.
   int num_records() const;
 
   /// Record `id` of the opened dataset viewed as a query (the paper's
   /// sample-queries-from-the-dataset protocol). kOutOfRange for bad ids.
   StatusOr<Query> RecordQuery(int id) const;
 
-  /// Mints a per-caller query handle over this snapshot. Cheap (the
-  /// scratch clone shares all immutable index state); call it once per
-  /// caller thread. The Session keeps the snapshot alive independently of
-  /// this Db.
+  /// The number of compactions published so far (0 for a freshly opened
+  /// database). Diagnostics only: it says nothing about which mutations a
+  /// given Session observes.
+  uint64_t epoch() const;
+
+  /// Mints a per-caller query handle over the current epoch + pending
+  /// mutations. Cheap (the scratch clone shares all immutable index
+  /// state); call it once per caller thread. The Session keeps its epoch
+  /// alive independently of this Db.
   Session NewSession() const;
 
-  /// DEPRECATED — use NewSession().Search(...). Kept for one release;
-  /// forwards to an internal session, so unlike the rest of Db it is not
-  /// concurrently callable.
-  StatusOr<SearchResult> Search(const Query& query);
-
-  /// DEPRECATED — use NewSession().SearchBatch(...). See Search().
-  StatusOr<BatchResult> SearchBatch(const std::vector<Query>& queries,
-                                    const RunOptions& options = {});
-
-  /// DEPRECATED — use NewSession().SelfJoin(...). See Search().
-  StatusOr<JoinResult> SelfJoin(const RunOptions& options = {});
+  /// Mints the database's single mutation handle (single-writer,
+  /// many-reader). kFailedPrecondition while another Writer is alive —
+  /// destroy it first. The Writer keeps the database alive independently
+  /// of this Db.
+  StatusOr<Writer> NewWriter() const;
 
  private:
-  explicit Db(std::shared_ptr<const internal::DbState> state);
+  explicit Db(std::shared_ptr<internal::DbHub> hub);
 
-  Session& ShimSession();
-
-  std::shared_ptr<const internal::DbState> state_;
-  // Lazily minted by the deprecated shims; never copied with the Db.
-  std::unique_ptr<Session> shim_session_;
+  std::shared_ptr<internal::DbHub> hub_;
+  // The resolved spec is immutable for the database's whole life (epochs
+  // rebuild under it), so each handle keeps a plain copy — spec() needs
+  // no locking.
+  IndexSpec spec_;
 };
 
 }  // namespace pigeonring::api

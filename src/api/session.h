@@ -15,6 +15,11 @@
 //   auto future = session.SubmitBatch(queries);   // async
 //   ... future.Get() ...
 //
+// Under a Writer (api/writer.h) a Session additionally freezes the
+// writer's delta at creation: results transparently merge the frozen
+// mutations (a consistent prefix of the log) and never change afterwards,
+// no matter how many inserts, removals, or compactions follow.
+//
 // Threading contract:
 //  * Any number of Sessions over one Db may run concurrently; results are
 //    byte-identical to the sequential path no matter how many callers
@@ -85,15 +90,21 @@ namespace internal {
 
 class AnyCursor;
 struct DbState;
+struct DeltaSnapshot;
 
 /// The one place RunOptions are validated and merged with the spec's
-/// defaults — every call path (Session::SearchBatch / SelfJoin /
-/// SubmitBatch / SubmitSelfJoin, and the deprecated Db shims through
-/// them) resolves through this helper, so the error surface cannot
-/// drift between paths. Negative fields defer to the spec; an explicit
-/// chunk < 1 is kInvalidArgument, not a silent fallback.
+/// defaults. Negative fields defer to the spec; an explicit chunk < 1 is
+/// kInvalidArgument, not a silent fallback. Nothing calls this directly
+/// except PlanRun below.
 StatusOr<engine::ExecutionOptions> ResolveRunOptions(const IndexSpec& spec,
                                                      const RunOptions& options);
+
+/// The single ResolveRunOptions call site: every execution entry point —
+/// Session::SearchBatch / SelfJoin / SubmitBatch / SubmitSelfJoin and
+/// Writer::Compact — plans its run through here, so the RunOptions error
+/// surface cannot drift between paths (api_test pins the identical text).
+StatusOr<engine::ExecutionOptions> PlanRun(const IndexSpec& spec,
+                                           const RunOptions& options);
 
 }  // namespace internal
 
@@ -109,8 +120,14 @@ class Session {
   int num_records() const;
 
   /// Record `id` of the snapshot's dataset viewed as a query.
-  /// kOutOfRange for bad ids.
+  /// kOutOfRange for bad ids. Ids removed through a Writer still answer —
+  /// every id stays addressable within its epoch.
   StatusOr<Query> RecordQuery(int id) const;
+
+  /// True iff `id` names a record of this session's snapshot that has not
+  /// been removed — i.e. whether `id` can appear in this session's
+  /// results. False (never an error) for out-of-range ids.
+  bool IsLive(int id) const;
 
   /// Ids of all records matching `query` under the spec's threshold.
   /// kInvalidArgument if the query's domain or shape does not match.
@@ -138,9 +155,14 @@ class Session {
 
  private:
   friend class Db;
-  explicit Session(std::shared_ptr<const internal::DbState> state);
+  Session(std::shared_ptr<const internal::DbState> state,
+          std::shared_ptr<const internal::DeltaSnapshot> delta);
 
   std::shared_ptr<const internal::DbState> state_;
+  // The writer delta frozen with the snapshot (never null, possibly
+  // empty): search/join results merge it in transparently, which is what
+  // makes a session's view a consistent prefix of the mutation log.
+  std::shared_ptr<const internal::DeltaSnapshot> delta_;
   std::unique_ptr<internal::AnyCursor> cursor_;
 };
 

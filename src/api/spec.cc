@@ -165,9 +165,22 @@ Status IndexSpec::Validate() const {
     return Status::InvalidArgument("chunk=" + std::to_string(chunk) +
                                    " is invalid: expected >= 1");
   }
+  if (delta_compact_threshold < 0) {
+    return Status::InvalidArgument(
+        "delta_compact_threshold=" + std::to_string(delta_compact_threshold) +
+        " is invalid: expected 0 (disabled) or a positive mutation count");
+  }
+  if (!(delta_compact_ratio >= 0) || !std::isfinite(delta_compact_ratio)) {
+    return Status::InvalidArgument(
+        "delta_compact_ratio=" + std::to_string(delta_compact_ratio) +
+        " is invalid: expected 0 (disabled) or a positive finite fraction");
+  }
   return Status::Ok();
 }
 
+// Query-time and serving-time fields (chain_length, filter, allocation,
+// threading, the delta_compact_* writer knobs) are deliberately excluded:
+// they never shape the persisted structures.
 uint64_t BuildFingerprint(const IndexSpec& spec) {
   constexpr uint64_t kOffset = 1469598103934665603ULL;
   constexpr uint64_t kPrime = 1099511628211ULL;

@@ -117,6 +117,19 @@ struct IndexSpec {
   // --- Graph edit distance ---
   uint64_t partition_seed = 1;
 
+  // --- Mutability (api::Writer, api/writer.h) ---
+  /// Background compaction triggers when the writer's pending mutation
+  /// count (inserts + removals since the last compaction) reaches this
+  /// many entries. 0 disables the size trigger (explicit Writer::Compact()
+  /// and the ratio trigger still apply). Serving-time knob: excluded from
+  /// BuildFingerprint and never persisted, so it can differ between the
+  /// saving and the opening process.
+  int delta_compact_threshold = 256;
+  /// Background compaction also triggers when the pending mutation count
+  /// reaches this fraction of the base snapshot's record count (only
+  /// meaningful while the base is nonempty). 0 disables the ratio trigger.
+  double delta_compact_ratio = 0;
+
   /// Checks every dataset-independent invariant (thresholds, chain length
   /// vs box counts, measure / filter / domain consistency, thread counts).
   /// Dataset-dependent checks (e.g. chain length vs the Hamming partition
@@ -127,20 +140,23 @@ struct IndexSpec {
 /// FNV-1a hash over the *build-relevant* spec fields — the ones that shape
 /// the persisted index structures: domain, tau, and the domain's structural
 /// knobs (num_parts / measure + num_boxes / kappa / partition_seed).
-/// Query-time fields (chain_length, filter, allocation, threading) are
-/// deliberately excluded so an index saved under one serving configuration
-/// opens under any other. Stored in the index file header; Db::OpenIndex
-/// rejects a mismatch with kFailedPrecondition.
+/// Query-time and serving-time fields (chain_length, filter, allocation,
+/// threading, the delta_compact_* writer knobs) are deliberately excluded
+/// so an index saved under one serving configuration opens under any
+/// other. Stored in the index file header; Db::OpenIndex rejects a
+/// mismatch with kFailedPrecondition.
 uint64_t BuildFingerprint(const IndexSpec& spec);
 
 /// A query in exactly one domain representation. The set alternative
 /// carries raw token ids by default; Db maps them through the collection's
-/// frequency-rank dictionary. Queries returned by Db::RecordQuery are
-/// already ranked (ranked == true) and are used as-is.
+/// frequency-rank dictionary. Queries returned by Db::RecordQuery carry
+/// raw token ids too (sorted, deduplicated), so a record query can be
+/// re-inserted through a Writer or compared against raw data directly.
 struct SetQuery {
   std::vector<int> tokens;
-  /// True only for queries produced by Db::RecordQuery: `tokens` are
-  /// frequency ranks of the opened collection, not raw token ids.
+  /// True iff `tokens` are frequency ranks of the opened collection
+  /// instead of raw token ids. Ranked queries remain accepted as input
+  /// for callers that precomputed ranks against the base dictionary.
   bool ranked = false;
 };
 

@@ -1,0 +1,96 @@
+// Delta overlays: merging a small mutation side table into base results.
+//
+// api::Writer (api/writer.h) logs inserts and removals against a frozen
+// snapshot; the records themselves stay domain-typed in the api layer.
+// What *is* engine-level is the id-space arithmetic shared by every
+// domain: delta insert k occupies public id base_size + k, removed ids
+// vanish from result lists and join pairs, and compaction renumbers the
+// survivors in order. These helpers keep that arithmetic in one place for
+// the session-side search/join merge and the writer's epoch rebase.
+//
+// All removed-id lists are sorted ascending; membership is binary search,
+// so merging stays O(|result| log |removed|) — the overlay never touches
+// the base index structures.
+
+#ifndef PIGEONRING_ENGINE_DELTA_H_
+#define PIGEONRING_ENGINE_DELTA_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/query_stats.h"
+
+namespace pigeonring::engine {
+
+/// A numeric view of one delta over a base of `base_size` records:
+/// `num_inserts` appended records (ids base_size .. base_size +
+/// num_inserts - 1) minus the removed base ids and removed insert
+/// indexes. The pointed-to vectors may be null (meaning empty) and must
+/// stay alive while the overlay is used.
+struct DeltaOverlay {
+  int base_size = 0;
+  int num_inserts = 0;
+  const std::vector<int>* removed_base = nullptr;   // sorted base ids
+  const std::vector<int>* removed_delta = nullptr;  // sorted insert indexes
+};
+
+inline bool SortedContains(const std::vector<int>& sorted, int id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+/// The position `id` compacts to once the entries of `removed_sorted` are
+/// squeezed out: id minus the number of removed entries below it. `id`
+/// must not itself be removed.
+inline int SurvivorId(const std::vector<int>& removed_sorted, int id) {
+  return id - static_cast<int>(std::lower_bound(removed_sorted.begin(),
+                                                removed_sorted.end(), id) -
+                               removed_sorted.begin());
+}
+
+inline bool DeltaInsertLive(const DeltaOverlay& overlay, int k) {
+  return overlay.removed_delta == nullptr ||
+         !SortedContains(*overlay.removed_delta, k);
+}
+
+/// Drops removed base ids from a result list in place (order preserved).
+inline void FilterRemovedBaseIds(std::vector<int>& ids,
+                                 const DeltaOverlay& overlay) {
+  if (overlay.removed_base == nullptr || overlay.removed_base->empty()) {
+    return;
+  }
+  std::erase_if(ids, [&overlay](int id) {
+    return SortedContains(*overlay.removed_base, id);
+  });
+}
+
+/// Appends the public id of every live delta insert whose record matches,
+/// in insert order — result lists stay ascending because delta ids all
+/// exceed the base ids. `matches(k)` is the domain's exact threshold test
+/// against insert k.
+template <typename MatchFn>
+void AppendDeltaMatches(std::vector<int>& ids, const DeltaOverlay& overlay,
+                        MatchFn&& matches) {
+  for (int k = 0; k < overlay.num_inserts; ++k) {
+    if (DeltaInsertLive(overlay, k) && matches(k)) {
+      ids.push_back(overlay.base_size + k);
+    }
+  }
+}
+
+/// Drops join pairs touching a removed base id, in place.
+inline void FilterRemovedBasePairs(std::vector<IdPair>& pairs,
+                                   const DeltaOverlay& overlay) {
+  if (overlay.removed_base == nullptr || overlay.removed_base->empty()) {
+    return;
+  }
+  std::erase_if(pairs, [&overlay](const IdPair& pair) {
+    return (pair.first < overlay.base_size &&
+            SortedContains(*overlay.removed_base, pair.first)) ||
+           (pair.second < overlay.base_size &&
+            SortedContains(*overlay.removed_base, pair.second));
+  });
+}
+
+}  // namespace pigeonring::engine
+
+#endif  // PIGEONRING_ENGINE_DELTA_H_

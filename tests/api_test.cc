@@ -81,6 +81,7 @@ void ExpectFacadeMatchesAdapter(S& adapter, StatusOr<Db> opened,
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   Db db = std::move(opened).value();
   ASSERT_EQ(db.num_records(), adapter.size());
+  Session session = db.NewSession();
 
   // Search batch: ids in input order + summed counters.
   std::vector<typename S::Query> adapter_queries;
@@ -94,20 +95,20 @@ void ExpectFacadeMatchesAdapter(S& adapter, StatusOr<Db> opened,
   engine::QueryStats adapter_stats;
   const auto expected_ids =
       engine::SearchBatch(adapter, adapter_queries, {}, &adapter_stats);
-  auto batch = db.SearchBatch(db_queries);
+  auto batch = session.SearchBatch(db_queries);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   EXPECT_EQ(batch->ids, expected_ids);
   ExpectSameCounters(batch->stats, adapter_stats);
 
   // Single search: same as its batch slot.
-  auto single = db.Search(db_queries.front());
+  auto single = session.Search(db_queries.front());
   ASSERT_TRUE(single.ok()) << single.status().ToString();
   EXPECT_EQ(single->ids, expected_ids.front());
 
   // Self-join: pairs + counters.
   engine::JoinStats adapter_join;
   const auto expected_pairs = engine::SelfJoin(adapter, {}, &adapter_join);
-  auto join = db.SelfJoin();
+  auto join = session.SelfJoin();
   ASSERT_TRUE(join.ok()) << join.status().ToString();
   EXPECT_EQ(join->pairs, expected_pairs);
   EXPECT_EQ(join->stats.pairs, adapter_join.pairs);
@@ -183,25 +184,26 @@ TEST(DbTest, ParallelRunsMatchSequentialThroughFacade) {
   spec.chain_length = 3;
   auto db = Db::Open(spec, Dataset(MakeVectors(400, 64, 91)));
   ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
 
-  auto seq = db->SelfJoin();
+  auto seq = session.SelfJoin();
   ASSERT_TRUE(seq.ok());
   std::vector<Query> queries;
   for (int id = 0; id < 40; ++id) {
     queries.push_back(std::move(db->RecordQuery(id)).value());
   }
-  auto seq_batch = db->SearchBatch(queries);
+  auto seq_batch = session.SearchBatch(queries);
   ASSERT_TRUE(seq_batch.ok());
 
   for (int threads : {2, 4}) {
     RunOptions options;
     options.num_threads = threads;
     options.chunk = 3;
-    auto par = db->SelfJoin(options);
+    auto par = session.SelfJoin(options);
     ASSERT_TRUE(par.ok());
     EXPECT_EQ(par->pairs, seq->pairs) << threads << " threads";
     EXPECT_EQ(par->stats.candidates, seq->stats.candidates);
-    auto par_batch = db->SearchBatch(queries, options);
+    auto par_batch = session.SearchBatch(queries, options);
     ASSERT_TRUE(par_batch.ok());
     EXPECT_EQ(par_batch->ids, seq_batch->ids) << threads << " threads";
     ExpectSameCounters(par_batch->stats, seq_batch->stats);
@@ -214,19 +216,21 @@ TEST(DbTest, RunOptionsAreValidatedLikeTheSpec) {
   spec.tau = 4;
   auto db = Db::Open(spec, Dataset(MakeVectors(30, 64, 11)));
   ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
   RunOptions options;
   options.chunk = 0;  // explicit 0 is an error, not a silent fallback
-  EXPECT_EQ(db->SelfJoin(options).status().code(),
+  EXPECT_EQ(session.SelfJoin(options).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(db->SearchBatch({}, options).status().code(),
+  EXPECT_EQ(session.SearchBatch({}, options).status().code(),
             StatusCode::kInvalidArgument);
   options.chunk = -5;  // any negative defers to the spec
-  EXPECT_TRUE(db->SelfJoin(options).ok());
+  EXPECT_TRUE(session.SelfJoin(options).ok());
 }
 
-// Every call path — Session sync, Session async, and the deprecated Db
-// shims — resolves RunOptions through the one shared helper, so the error
-// surface must be identical on all of them.
+// Every execution entry point — Session sync, Session async, and
+// Writer::Compact — plans its RunOptions through the single
+// internal::PlanRun call site, so the error surface must be identical on
+// all of them, down to the exact message text.
 TEST(DbTest, RunOptionsErrorsAreIdenticalOnEveryCallPath) {
   IndexSpec spec;
   spec.domain = Domain::kHamming;
@@ -234,6 +238,8 @@ TEST(DbTest, RunOptionsErrorsAreIdenticalOnEveryCallPath) {
   auto db = Db::Open(spec, Dataset(MakeVectors(30, 64, 11)));
   ASSERT_TRUE(db.ok());
   Session session = db->NewSession();
+  auto writer = db->NewWriter();
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
   std::vector<Query> queries = {std::move(db->RecordQuery(0)).value()};
 
   RunOptions bad;
@@ -242,13 +248,14 @@ TEST(DbTest, RunOptionsErrorsAreIdenticalOnEveryCallPath) {
   const Status sync_join = session.SelfJoin(bad).status();
   const Status async_batch = session.SubmitBatch(queries, bad).Get().status();
   const Status async_join = session.SubmitSelfJoin(bad).Get().status();
-  const Status shim_batch = db->SearchBatch(queries, bad).status();
-  const Status shim_join = db->SelfJoin(bad).status();
-  for (const Status& status : {sync_batch, sync_join, async_batch,
-                               async_join, shim_batch, shim_join}) {
+  const Status compact = writer->Compact(bad);
+  for (const Status& status :
+       {sync_batch, sync_join, async_batch, async_join, compact}) {
     EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
     EXPECT_EQ(status.message(), sync_batch.message());
   }
+  // The resolution is the spec's: this is the exact text every path pins.
+  EXPECT_EQ(sync_batch.message(), "chunk=0 is invalid: expected >= 1");
 
   // Negative fields defer to the spec's (valid) defaults; explicit
   // num_threads = 0 means hardware concurrency. Both succeed everywhere.
@@ -261,9 +268,9 @@ TEST(DbTest, RunOptionsErrorsAreIdenticalOnEveryCallPath) {
   }
 }
 
-// The session surface must produce exactly what the (deprecated) Db shims
-// produce — they are the same helper, cursor machinery, and executor.
-TEST(SessionTest, SessionMatchesDbShims) {
+// Two sessions over the same Db are interchangeable — same helper, cursor
+// machinery, and executor — and agree with the Db-level accessors.
+TEST(SessionTest, SessionsOverOneDbAreInterchangeable) {
   IndexSpec spec;
   spec.domain = Domain::kEdit;
   spec.tau = 2;
@@ -271,6 +278,7 @@ TEST(SessionTest, SessionMatchesDbShims) {
   auto db = Db::Open(spec, Dataset(MakeStrings(200, 31)));
   ASSERT_TRUE(db.ok());
   Session session = db->NewSession();
+  Session other = db->NewSession();
   EXPECT_EQ(session.num_records(), db->num_records());
   EXPECT_EQ(session.spec().chain_length, db->spec().chain_length);
 
@@ -278,22 +286,22 @@ TEST(SessionTest, SessionMatchesDbShims) {
   for (int id = 0; id < 20; ++id) {
     queries.push_back(std::move(session.RecordQuery(id)).value());
   }
-  auto shim_batch = db->SearchBatch(queries);
+  auto other_batch = other.SearchBatch(queries);
   auto session_batch = session.SearchBatch(queries);
-  ASSERT_TRUE(shim_batch.ok() && session_batch.ok());
-  EXPECT_EQ(session_batch->ids, shim_batch->ids);
-  ExpectSameCounters(session_batch->stats, shim_batch->stats);
+  ASSERT_TRUE(other_batch.ok() && session_batch.ok());
+  EXPECT_EQ(session_batch->ids, other_batch->ids);
+  ExpectSameCounters(session_batch->stats, other_batch->stats);
 
-  auto shim_single = db->Search(queries.front());
+  auto other_single = other.Search(queries.front());
   auto session_single = session.Search(queries.front());
-  ASSERT_TRUE(shim_single.ok() && session_single.ok());
-  EXPECT_EQ(session_single->ids, shim_single->ids);
+  ASSERT_TRUE(other_single.ok() && session_single.ok());
+  EXPECT_EQ(session_single->ids, other_single->ids);
 
-  auto shim_join = db->SelfJoin();
+  auto other_join = other.SelfJoin();
   auto session_join = session.SelfJoin();
-  ASSERT_TRUE(shim_join.ok() && session_join.ok());
-  EXPECT_EQ(session_join->pairs, shim_join->pairs);
-  EXPECT_EQ(session_join->stats.candidates, shim_join->stats.candidates);
+  ASSERT_TRUE(other_join.ok() && session_join.ok());
+  EXPECT_EQ(session_join->pairs, other_join->pairs);
+  EXPECT_EQ(session_join->stats.candidates, other_join->stats.candidates);
 }
 
 TEST(SessionTest, WallClockIsPopulated) {
@@ -353,8 +361,10 @@ TEST(DbTest, OpensFromDatasetFile) {
 
   auto query = from_memory->RecordQuery(3);
   ASSERT_TRUE(query.ok());
-  auto a = from_file->Search(*query);
-  auto b = from_memory->Search(*query);
+  Session file_session = from_file->NewSession();
+  Session memory_session = from_memory->NewSession();
+  auto a = file_session.Search(*query);
+  auto b = memory_session.Search(*query);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->ids, b->ids);
 
@@ -384,7 +394,8 @@ TEST(DbTest, RawSetQueriesAreMappedThroughTheDictionary) {
   // seen) must match brute force over the mapped query.
   std::vector<int> tokens = raw[5];
   tokens.push_back(999999999);  // absent from the data: inert but counted
-  auto result = db->Search(Query(SetQuery{tokens}));
+  Session session = db->NewSession();
+  auto result = session.Search(Query(SetQuery{tokens}));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const auto expected = setsim::BruteForceJaccardSearch(
       collection, collection.MapQuery(tokens), 0.6);
@@ -397,13 +408,14 @@ TEST(DbTest, QueryDomainMismatchIsTyped) {
   spec.tau = 4;
   auto db = Db::Open(spec, Dataset(MakeVectors(50, 64, 5)));
   ASSERT_TRUE(db.ok());
+  Session session = db->NewSession();
 
-  auto bad = db->Search(Query(std::string("not a bit vector")));
+  auto bad = session.Search(Query(std::string("not a bit vector")));
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 
   // Wrong dimensionality is rejected, not PR_CHECK-aborted.
-  auto narrow = db->Search(Query(BitVector(32)));
+  auto narrow = session.Search(Query(BitVector(32)));
   ASSERT_FALSE(narrow.ok());
   EXPECT_EQ(narrow.status().code(), StatusCode::kInvalidArgument);
 
@@ -411,7 +423,7 @@ TEST(DbTest, QueryDomainMismatchIsTyped) {
   // index in the message.
   std::vector<Query> queries = {std::move(db->RecordQuery(0)).value(),
                                 Query(std::string("oops"))};
-  auto batch = db->SearchBatch(queries);
+  auto batch = session.SearchBatch(queries);
   ASSERT_FALSE(batch.ok());
   EXPECT_NE(batch.status().message().find("query 1"), std::string::npos)
       << batch.status().ToString();
@@ -457,7 +469,8 @@ TEST(DbTest, EmptyDatasetOpensAndJoinsToNothing) {
   auto db = Db::Open(spec, Dataset(std::vector<BitVector>{}));
   ASSERT_TRUE(db.ok()) << db.status().ToString();
   EXPECT_EQ(db->num_records(), 0);
-  auto join = db->SelfJoin();
+  Session session = db->NewSession();
+  auto join = session.SelfJoin();
   ASSERT_TRUE(join.ok());
   EXPECT_TRUE(join->pairs.empty());
   EXPECT_FALSE(db->RecordQuery(0).ok());
@@ -472,10 +485,11 @@ TEST(DbTest, DbIsMovable) {
   Db db = std::move(opened).value();
   auto query = db.RecordQuery(7);
   ASSERT_TRUE(query.ok());
-  const auto before = std::move(db.Search(*query)).value().ids;
+  const auto before =
+      std::move(db.NewSession().Search(*query)).value().ids;
   Db moved = std::move(db);
   EXPECT_EQ(moved.num_records(), 50);
-  EXPECT_EQ(std::move(moved.Search(*query)).value().ids, before);
+  EXPECT_EQ(std::move(moved.NewSession().Search(*query)).value().ids, before);
 }
 
 TEST(SpecValidationTest, BadThresholds) {

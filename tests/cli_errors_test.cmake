@@ -157,4 +157,22 @@ expect_fail(1 "FailedPrecondition.*fast_path"
   search strings --index "${WORK_DIR}/fixed_pivotal.pgri" --tau 2
   --fast-path on)
 
+# --- mutation commands ----------------------------------------------------
+# insert/remove/compact read --index only (never --data as the serving
+# source), parse --ids strictly, and surface the library's typed errors —
+# removing a nonexistent id is kNotFound (exit 1), not a silent no-op.
+expect_fail(2 "unknown flag --chain"  # mutation commands take no query flags
+  compact hamming --index "${WORK_DIR}/vectors.pgri" --tau 8 --chain 2)
+expect_fail(2 "--ids expects comma-separated integers"
+  remove hamming --index "${WORK_DIR}/vectors.pgri" --tau 8 --ids "3,,7")
+expect_fail(2 "missing required flag --data"
+  insert hamming --index "${WORK_DIR}/vectors.pgri" --tau 8)
+expect_fail(1 "NotFound.*outside"
+  remove hamming --index "${WORK_DIR}/vectors.pgri" --tau 8 --ids 99999)
+expect_fail(1 "FailedPrecondition.*tau"  # spec must match, like search
+  compact hamming --index "${WORK_DIR}/vectors.pgri" --tau 6)
+expect_fail(1 "InvalidArgument"  # wrong-domain records cannot be inserted
+  insert hamming --index "${WORK_DIR}/vectors.pgri" --tau 8
+  --data "${WORK_DIR}/var.ds")
+
 message(STATUS "all CLI error paths return their documented exit codes")

@@ -249,3 +249,64 @@ if(NOT sequential_join STREQUAL client_join)
     "concurrent-client join diverged from sequential\nsequential:\n${sequential_join}\n--clients 3:\n${client_join}")
 endif()
 message(STATUS "search/join --clients 3 matches --clients 1 exactly")
+
+# Mutation commands (insert / remove / compact through api::Writer):
+# build an index over batch A, insert batch B (ids 150..199 of the merged
+# file), then remove exactly those ids again — the restored index must be
+# BYTE-identical to the original (compaction packs base survivors in
+# order, and Save is deterministic). `compact` on an already-compacted
+# file must likewise be a byte-identical rewrite.
+set(mut_a "${WORK_DIR}/mut_a.ds")
+set(mut_b "${WORK_DIR}/mut_b.ds")
+run_cli(gen vectors --out "${mut_a}" --n 150 --dim 64 --seed 91)
+run_cli(gen vectors --out "${mut_b}" --n 50 --dim 64 --seed 92)
+run_cli(build hamming --data "${mut_a}" --out "${WORK_DIR}/mut.pgri" --tau 8)
+file(SHA256 "${WORK_DIR}/mut.pgri" original_sha)
+
+run_cli(insert hamming --index "${WORK_DIR}/mut.pgri" --data "${mut_b}"
+        --tau 8 --out "${WORK_DIR}/mut_merged.pgri")
+if(NOT last_output MATCHES "inserted 50 records")
+  message(FATAL_ERROR "insert did not report 50 records:\n${last_output}")
+endif()
+run_cli(search hamming --index "${WORK_DIR}/mut_merged.pgri" --tau 8
+        --chain 2 --queries 10)
+run_cli(join hamming --index "${WORK_DIR}/mut_merged.pgri" --tau 8 --chain 2)
+
+run_cli(compact hamming --index "${WORK_DIR}/mut_merged.pgri" --tau 8
+        --out "${WORK_DIR}/mut_recompacted.pgri")
+file(SHA256 "${WORK_DIR}/mut_merged.pgri" merged_sha)
+file(SHA256 "${WORK_DIR}/mut_recompacted.pgri" recompacted_sha)
+if(NOT merged_sha STREQUAL recompacted_sha)
+  message(FATAL_ERROR
+    "compact of an already-compacted index was not a byte-identical rewrite")
+endif()
+
+set(inserted_ids "")
+foreach(id RANGE 150 199)
+  if(inserted_ids STREQUAL "")
+    set(inserted_ids "${id}")
+  else()
+    set(inserted_ids "${inserted_ids},${id}")
+  endif()
+endforeach()
+run_cli(remove hamming --index "${WORK_DIR}/mut_merged.pgri"
+        --ids "${inserted_ids}" --tau 8 --out "${WORK_DIR}/mut_restored.pgri")
+file(SHA256 "${WORK_DIR}/mut_restored.pgri" restored_sha)
+if(NOT restored_sha STREQUAL original_sha)
+  message(FATAL_ERROR
+    "insert+remove round trip did not restore the original index bytes")
+endif()
+message(STATUS "insert/remove/compact round-trip restored the index bytes")
+
+# The other domains take the same mutation path; a sets insert also
+# exercises out-of-dictionary tokens (the inserted batch brings new token
+# ids into the merged collection).
+set(mut_sets_b "${WORK_DIR}/mut_sets_b.ds")
+run_cli(gen sets --out "${mut_sets_b}" --n 40 --seed 93)
+run_cli(insert sets --index "${WORK_DIR}/sets.pgri" --data "${mut_sets_b}"
+        --tau 0.7 --out "${WORK_DIR}/sets_merged.pgri")
+run_cli(search sets --index "${WORK_DIR}/sets_merged.pgri" --tau 0.7
+        --chain 2 --queries 10)
+run_cli(remove sets --index "${WORK_DIR}/sets_merged.pgri" --ids 0,1,2
+        --tau 0.7 --out "${WORK_DIR}/sets_shrunk.pgri")
+run_cli(join sets --index "${WORK_DIR}/sets_shrunk.pgri" --tau 0.7 --chain 2)

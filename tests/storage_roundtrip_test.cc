@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "api/db.h"
+#include "api/writer.h"
 #include "api_test_util.h"
 #include "datagen/binary_vectors.h"
 #include "datagen/graphs.h"
@@ -447,6 +448,141 @@ TEST(StorageRoundtripTest, EmptyCollections) {
     ASSERT_TRUE(join.ok()) << join.status().ToString();
     EXPECT_TRUE(join->pairs.empty());
   }
+}
+
+// A zero-record index is not a dead end: Save it, OpenIndex it, grow it
+// through a Writer, and the re-saved file must be byte-identical to a
+// cold build over the inserted records — in every domain.
+TEST(StorageRoundtripTest, ZeroRecordStatesGrowThroughWriters) {
+  struct Case {
+    const char* name;
+    IndexSpec spec;
+    Dataset empty;
+    Dataset records;
+  };
+  IndexSpec hamming;
+  hamming.domain = Domain::kHamming;
+  hamming.tau = 4;
+  IndexSpec sets;
+  sets.domain = Domain::kSet;
+  sets.tau = 0.7;
+  IndexSpec edit;
+  edit.domain = Domain::kEdit;
+  edit.tau = 1;
+  IndexSpec graph;
+  graph.domain = Domain::kGraph;
+  graph.tau = 1;
+  std::vector<Case> cases;
+  cases.push_back({"hamming", hamming, Dataset(std::vector<BitVector>{}),
+                   Dataset(MakeVectors(3, 64, 87))});
+  cases.push_back({"sets", sets, Dataset(std::vector<std::vector<int>>{}),
+                   Dataset(std::vector<std::vector<int>>{
+                       {1, 2, 3}, {2, 3, 4}, {9, 11}})});
+  cases.push_back({"edit", edit, Dataset(std::vector<std::string>{}),
+                   Dataset(std::vector<std::string>{"alpha", "beta", "gap"})});
+  cases.push_back({"graph", graph, Dataset(std::vector<graphed::Graph>{}),
+                   Dataset(MakeGraphs(3, 88))});
+
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto built = Db::Open(c.spec, std::move(c.empty));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    const std::string empty_path =
+        TempPath(std::string("grow_empty_") + c.name + ".pgri");
+    ASSERT_TRUE(built->Save(empty_path).ok());
+
+    auto loaded = Db::OpenIndex(c.spec, empty_path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded->num_records(), 0);
+    auto writer = loaded->NewWriter();
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    const int n = std::visit(
+        [](const auto& records) { return static_cast<int>(records.size()); },
+        c.records);
+    for (int i = 0; i < n; ++i) {
+      auto query = std::visit(
+          [&](const auto& records) -> Query {
+            using T = std::decay_t<decltype(records[i])>;
+            if constexpr (std::is_same_v<T, std::vector<int>>) {
+              return SetQuery{records[i], /*ranked=*/false};
+            } else {
+              return records[i];
+            }
+          },
+          c.records);
+      auto id = writer->Insert(query);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      EXPECT_EQ(*id, i);
+    }
+    const std::string grown_path =
+        TempPath(std::string("grow_full_") + c.name + ".pgri");
+    ASSERT_TRUE(loaded->Save(grown_path).ok());
+
+    // Reference: the same records built cold. Note the grown index's
+    // resolved spec (e.g. the edit fast-path flag, fixed at empty-open
+    // time) must agree with what a cold open over the records resolves —
+    // otherwise the byte comparison itself would flag the divergence.
+    auto cold = Db::Open(c.spec, std::move(c.records));
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    const std::string cold_path =
+        TempPath(std::string("grow_cold_") + c.name + ".pgri");
+    ASSERT_TRUE(cold->Save(cold_path).ok());
+    EXPECT_EQ(ReadFile(grown_path), ReadFile(cold_path));
+
+    auto reopened = Db::OpenIndex(c.spec, grown_path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->num_records(), n);
+  }
+}
+
+// An empty edit index persists the fast-path flag it resolved at open
+// time: kAuto resolves to the permissive pivotal path (so the database
+// can grow strings of any length), the file records that choice, and a
+// kOn reopen over it is the usual typed contradiction. An explicit
+// kOn-on-empty save keeps the fixed-length contract across the reload.
+TEST(StorageRoundtripTest, EmptyEditIndexPersistsItsResolvedFastPath) {
+  IndexSpec spec;
+  spec.domain = Domain::kEdit;
+  spec.tau = 1;
+
+  auto built = Db::Open(spec, Dataset(std::vector<std::string>{}));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_EQ(built->spec().edit_fast_path, EditFastPath::kOff);
+  const std::string path = TempPath("rt_empty_edit_auto.pgri");
+  ASSERT_TRUE(built->Save(path).ok());
+
+  auto adopted = Db::OpenIndex(spec, path);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted->spec().edit_fast_path, EditFastPath::kOff);
+  // The loaded empty database accepts variable-length strings.
+  auto writer = adopted->NewWriter();
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->Insert(Query(std::string("ab"))).ok());
+  ASSERT_TRUE(
+      writer->Insert(Query(std::string("a much longer string"))).ok());
+  ASSERT_TRUE(writer->Compact().ok());
+
+  IndexSpec as_on = spec;
+  as_on.edit_fast_path = EditFastPath::kOn;
+  auto mismatched = Db::OpenIndex(as_on, path);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+
+  // Explicit kOn over an empty dataset keeps the fixed-length contract
+  // through save/load: the first insert into the reload fixes the length.
+  auto on_built = Db::Open(as_on, Dataset(std::vector<std::string>{}));
+  ASSERT_TRUE(on_built.ok()) << on_built.status().ToString();
+  const std::string on_path = TempPath("rt_empty_edit_on.pgri");
+  ASSERT_TRUE(on_built->Save(on_path).ok());
+  auto on_loaded = Db::OpenIndex(spec, on_path);  // kAuto adopts kOn
+  ASSERT_TRUE(on_loaded.ok()) << on_loaded.status().ToString();
+  EXPECT_EQ(on_loaded->spec().edit_fast_path, EditFastPath::kOn);
+  auto on_writer = on_loaded->NewWriter();
+  ASSERT_TRUE(on_writer.ok()) << on_writer.status().ToString();
+  ASSERT_TRUE(on_writer->Insert(Query(std::string("tenletters"))).ok());
+  auto mixed = on_writer->Insert(Query(std::string("four")));
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(StorageRoundtripTest, SingleRecordCollections) {

@@ -2,8 +2,9 @@
 # Fails if any bench JSON dump carries a failed self-check.
 #
 # The bench binaries verify their own results (fast path vs pivotal
-# parity, loaded-vs-built joins, facade-vs-templated ids) and write the
-# verdicts into the JSON they emit — by design the verdict is written
+# parity, loaded-vs-built joins, facade-vs-templated ids, the churn
+# panel's quiesce_matches_rebuild) and write the verdicts into the JSON
+# they emit — by design the verdict is written
 # even when the binary then exits nonzero, so a stale or inspected
 # artifact still tells the truth. This script is the CI-side net: it
 # scans every given file (or bench_*.json in the current directory) for

@@ -18,6 +18,15 @@
 //       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
 //       [--fast-path auto|on|off] [--alloc uniform|costmodel] [--threads N]
 //       [--clients N] [--stats kv] [--print N]
+//   pigeonring_cli insert <hamming|sets|strings|graphs> --index INDEX
+//       --data FILE --tau T [--out INDEX2]
+//       [--measure jaccard|overlap] [--kappa K] [--fast-path auto|on|off]
+//   pigeonring_cli remove <hamming|sets|strings|graphs> --index INDEX
+//       --ids 3,17,42 --tau T [--out INDEX2]
+//       [--measure jaccard|overlap] [--kappa K] [--fast-path auto|on|off]
+//   pigeonring_cli compact <hamming|sets|strings|graphs> --index INDEX
+//       --tau T [--out INDEX2]
+//       [--measure jaccard|overlap] [--kappa K] [--fast-path auto|on|off]
 //
 // `build` indexes a raw dataset once and persists the built state in the
 // storage layer's container format (storage/index_file.h); `search` /
@@ -35,6 +44,16 @@
 // choice is reported as stat.fast_path under --stats kv. Result ids and
 // pairs are byte-identical across all three modes — only the candidate
 // counters and timings move.
+//
+// `insert` / `remove` / `compact` mutate a persisted index through the
+// library's api::Writer surface. `insert` appends every record of a raw
+// dataset file; `remove` drops the given record ids (comma-separated; a
+// nonexistent id is the library's typed kNotFound, exit 1); both write the
+// compacted merged state back to --index (or --out, leaving the input
+// untouched). `compact` rewrites the index in its canonical compacted form
+// — a cheap open/verify/rewrite cycle, since a persisted index never
+// carries pending mutations. Like search/join with --index, the spec flags
+// must repeat the build-relevant values.
 //
 // `search` samples N query objects from the dataset (the paper's protocol)
 // and prints per-query averages; `join` reports all result pairs. With
@@ -110,7 +129,20 @@ void Usage() {
       "                        [--fast-path auto|on|off]\n"
       "                        [--alloc uniform|costmodel]\n"
       "                        [--threads N] [--clients N] [--stats kv]\n"
-      "                        [--print N]\n");
+      "                        [--print N]\n"
+      "  pigeonring_cli insert <hamming|sets|strings|graphs> --index INDEX\n"
+      "                        --data FILE --tau T [--out INDEX2]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
+      "  pigeonring_cli remove <hamming|sets|strings|graphs> --index INDEX\n"
+      "                        --ids 3,17,42 --tau T [--out INDEX2]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
+      "  pigeonring_cli compact <hamming|sets|strings|graphs> --index "
+      "INDEX\n"
+      "                        --tau T [--out INDEX2]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n");
   std::exit(2);
 }
 
@@ -229,6 +261,17 @@ std::set<std::string> AllowedFlags(const std::string& command,
   }
   if (command == "build") {
     std::set<std::string> allowed = {"data", "out", "tau"};
+    if (kind == "sets") allowed.insert("measure");
+    if (kind == "strings") {
+      allowed.insert("kappa");
+      allowed.insert("fast-path");
+    }
+    return allowed;
+  }
+  if (command == "insert" || command == "remove" || command == "compact") {
+    std::set<std::string> allowed = {"index", "tau", "out"};
+    if (command == "insert") allowed.insert("data");
+    if (command == "remove") allowed.insert("ids");
     if (kind == "sets") allowed.insert("measure");
     if (kind == "strings") {
       allowed.insert("kappa");
@@ -375,6 +418,136 @@ int RunBuild(const std::string& kind, const Flags& flags) {
   const std::string out = flags.Require("out");
   Check(db.Save(out));
   std::printf("indexed %d objects into %s\n", db.num_records(), out.c_str());
+  return 0;
+}
+
+/// The spec an insert/remove/compact invocation opens its index under:
+/// the build-relevant flags (--tau, --measure, --kappa, --fast-path) must
+/// repeat the build's values, exactly like search/join with --index.
+api::IndexSpec MutationSpecFromFlags(const std::string& kind,
+                                     const Flags& flags) {
+  api::IndexSpec spec;
+  auto domain = api::ParseDomain(kind);
+  if (!domain.ok()) Usage();
+  spec.domain = domain.value();
+  spec.tau = flags.RequireDouble("tau");
+  spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  if (spec.domain == api::Domain::kEdit) {
+    spec.edit_fast_path = FastPathFromFlags(flags);
+  }
+  const std::string measure = flags.Get("measure", "jaccard");
+  if (measure == "jaccard") {
+    spec.measure = setsim::SetMeasure::kJaccard;
+  } else if (measure == "overlap") {
+    spec.measure = setsim::SetMeasure::kOverlap;
+  } else {
+    std::fprintf(stderr, "unknown --measure '%s'\n", measure.c_str());
+    std::exit(2);
+  }
+  return spec;
+}
+
+/// Loads the raw dataset `path` in `kind`'s format as a list of
+/// insertable records. Set records stay raw token ids — Writer::Insert
+/// maps them through the index's dictionary like any other raw SetQuery.
+std::vector<api::Query> LoadInsertRecords(const std::string& kind,
+                                          const std::string& path) {
+  std::vector<api::Query> records;
+  if (kind == "hamming") {
+    for (auto& vector : Unwrap(io::LoadBitVectors(path))) {
+      records.emplace_back(std::move(vector));
+    }
+  } else if (kind == "sets") {
+    for (auto& tokens : Unwrap(io::LoadTokenSets(path))) {
+      records.emplace_back(api::SetQuery{std::move(tokens), false});
+    }
+  } else if (kind == "strings") {
+    for (auto& text : Unwrap(io::LoadStrings(path))) {
+      records.emplace_back(std::move(text));
+    }
+  } else {
+    for (auto& graph : Unwrap(io::LoadGraphs(path))) {
+      records.emplace_back(std::move(graph));
+    }
+  }
+  return records;
+}
+
+/// Parses the --ids comma list strictly: every token must be a whole
+/// integer, and an empty list is a usage error.
+std::vector<int> ParseIdList(const std::string& value) {
+  std::vector<int> ids;
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string token =
+        value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(token.c_str(), &end, 10);
+    if (token.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--ids expects comma-separated integers, got '%s'\n",
+                   value.c_str());
+      std::exit(2);
+    }
+    ids.push_back(static_cast<int>(parsed));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+int RunInsert(const std::string& kind, const Flags& flags) {
+  const api::IndexSpec spec = MutationSpecFromFlags(kind, flags);
+  const std::string index = flags.Require("index");
+  const api::Db db = Unwrap(api::Db::OpenIndex(spec, index));
+  const std::vector<api::Query> records =
+      LoadInsertRecords(kind, flags.Require("data"));
+  api::Writer writer = Unwrap(db.NewWriter());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto id = writer.Insert(records[i]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: record %zu: %s\n", i,
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  // Save serializes the compacted merged state even while the delta is
+  // pending, so no explicit Compact() is needed before persisting.
+  const std::string out = flags.Get("out", index);
+  Check(db.Save(out));
+  std::printf("inserted %zu records into %s (%d records total)\n",
+              records.size(), out.c_str(), db.num_records());
+  return 0;
+}
+
+int RunRemove(const std::string& kind, const Flags& flags) {
+  const api::IndexSpec spec = MutationSpecFromFlags(kind, flags);
+  const std::string index = flags.Require("index");
+  const api::Db db = Unwrap(api::Db::OpenIndex(spec, index));
+  const std::vector<int> ids = ParseIdList(flags.Require("ids"));
+  api::Writer writer = Unwrap(db.NewWriter());
+  for (int id : ids) Check(writer.Remove(id));
+  // Removals do not shrink the id space until compaction packs the
+  // survivors; compact before reporting so the count matches the file.
+  Check(writer.Compact());
+  const std::string out = flags.Get("out", index);
+  Check(db.Save(out));
+  std::printf("removed %zu records from %s (%d records remain)\n", ids.size(),
+              out.c_str(), db.num_records());
+  return 0;
+}
+
+int RunCompact(const std::string& kind, const Flags& flags) {
+  const api::IndexSpec spec = MutationSpecFromFlags(kind, flags);
+  const std::string index = flags.Require("index");
+  const api::Db db = Unwrap(api::Db::OpenIndex(spec, index));
+  api::Writer writer = Unwrap(db.NewWriter());
+  Check(writer.Compact());
+  const std::string out = flags.Get("out", index);
+  Check(db.Save(out));
+  std::printf("compacted %s (%d records)\n", out.c_str(), db.num_records());
   return 0;
 }
 
@@ -604,12 +777,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string kind = argv[2];
   if (command != "gen" && command != "build" && command != "search" &&
-      command != "join") {
+      command != "join" && command != "insert" && command != "remove" &&
+      command != "compact") {
     Usage();
   }
   const Flags flags(argc, argv, 3, AllowedFlags(command, kind));
   if (command == "gen") return RunGen(kind, flags);
   if (command == "build") return RunBuild(kind, flags);
   if (command == "search") return RunSearch(kind, flags);
+  if (command == "insert") return RunInsert(kind, flags);
+  if (command == "remove") return RunRemove(kind, flags);
+  if (command == "compact") return RunCompact(kind, flags);
   return RunJoin(kind, flags);
 }
