@@ -24,7 +24,12 @@
 // compacted snapshot; its `quiesce_matches_rebuild` self-check (the
 // quiesced database must be byte- and result-identical to a cold rebuild
 // over its own records) fails the run like the fast-path parity check
-// does. `--json FILE` additionally dumps the timings
+// does. The net panel prices the network service (src/net/): single-query
+// search qps and client-observed p50/p99 over loopback TCP at 1/2/4
+// connections, the shed rate of a deliberately overloaded server
+// (max_inflight = 1), and the `net_matches_inprocess` self-check — every
+// TCP reply byte-identical to an in-process Session — which fails the run
+// like the other verdicts. `--json FILE` additionally dumps the timings
 // machine-readably; BENCH_engine.json at the repo root is a committed
 // baseline produced this way (see docs/BENCHMARKS.md for the protocol).
 
@@ -51,6 +56,8 @@
 #include "engine/engine.h"
 #include "kernels/flat_bit_table.h"
 #include "kernels/kernels.h"
+#include "net/client.h"
+#include "net/server.h"
 
 namespace {
 
@@ -895,12 +902,202 @@ ChurnPanel RunChurnPanel() {
   return panel;
 }
 
+// Net panel: the network service priced over loopback TCP. One
+// net::Server wraps the Hamming Db; each row runs N client connections
+// (own socket + thread each) issuing single-query searches back-to-back,
+// round-robin over a sampled query pool — qps counts completed replies,
+// latencies are client-observed round-trip times. The overload row
+// restarts the service with max_inflight = 1 and hammers it from 4
+// connections: the shed rate is the fraction of requests answered with
+// the typed ResourceExhausted frame (admission control working, not an
+// error). Self-check `net_matches_inprocess`: every TCP reply's ids must
+// equal the in-process Session answer for the same query — recorded in
+// the JSON, and main() exits nonzero after writing it on a mismatch.
+struct NetRow {
+  int connections = 0;
+  double wall_millis = 0;
+  double qps = 0;
+  double p50_millis = 0;
+  double p99_millis = 0;
+};
+
+struct NetPanel {
+  int requests_per_connection = 0;
+  int query_pool = 0;
+  std::vector<NetRow> rows;
+  long long overload_attempts = 0;
+  long long overload_shed = 0;
+  double overload_shed_rate = 0;
+  bool net_matches_inprocess = false;
+};
+
+NetPanel RunNetPanel() {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 128;
+  config.num_objects = bench::Scaled(20000);
+  config.num_clusters = bench::Scaled(500);
+  config.cluster_fraction = 0.5;
+  config.flip_rate = 0.05;
+  config.bit_bias = 0.3;
+  config.seed = 9001;
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 4;
+  spec.num_threads = 1;
+  const api::Db db = bench::BenchUnwrap(
+      api::Db::Open(spec,
+                    api::Dataset(datagen::GenerateBinaryVectors(config))),
+      "open hamming");
+
+  NetPanel panel;
+  panel.query_pool = std::max(4, bench::Scaled(16));
+  panel.requests_per_connection = std::max(20, bench::Scaled(400));
+  std::vector<api::Query> pool;
+  std::vector<std::vector<int>> expected;
+  {
+    Rng rng(9010);
+    api::Session session = db.NewSession();
+    for (int i = 0; i < panel.query_pool; ++i) {
+      const int id = static_cast<int>(rng.NextBounded(db.num_records()));
+      pool.push_back(bench::BenchUnwrap(db.RecordQuery(id), "sample query"));
+      expected.push_back(
+          bench::BenchUnwrap(session.Search(pool.back()), "reference search")
+              .ids);
+    }
+  }
+
+  bool matches = true;
+  // One connection's timed workload; latencies in, mismatch flag out.
+  const auto run_connection = [&](int port, std::vector<double>* latencies,
+                                  std::atomic<bool>* ok) {
+    auto client = net::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      ok->store(false);
+      return;
+    }
+    for (int r = 0; r < panel.requests_per_connection; ++r) {
+      const int q = r % panel.query_pool;
+      StopWatch watch;
+      auto reply = client->Search(pool[q]);
+      if (!reply.ok() || reply->ids != expected[q]) {
+        ok->store(false);
+        return;
+      }
+      latencies->push_back(watch.ElapsedMillis());
+    }
+  };
+
+  {
+    net::Server server = bench::BenchUnwrap(net::Server::Start(db),
+                                            "start net server");
+    for (int connections : {1, 2, 4}) {
+      std::vector<std::vector<double>> latencies(connections);
+      std::atomic<bool> ok(true);
+      StopWatch wall;
+      {
+        std::vector<std::thread> threads;
+        threads.reserve(connections);
+        for (int c = 0; c < connections; ++c) {
+          threads.emplace_back([&, c] {
+            run_connection(server.port(), &latencies[c], &ok);
+          });
+        }
+        for (std::thread& t : threads) t.join();
+      }
+      NetRow row;
+      row.connections = connections;
+      row.wall_millis = wall.ElapsedMillis();
+      if (!ok.load()) matches = false;
+      std::vector<double> all;
+      for (const auto& per_conn : latencies) {
+        all.insert(all.end(), per_conn.begin(), per_conn.end());
+      }
+      std::sort(all.begin(), all.end());
+      if (!all.empty()) {
+        row.p50_millis = all[all.size() / 2];
+        row.p99_millis = all[static_cast<size_t>(0.99 * (all.size() - 1))];
+      }
+      row.qps = static_cast<double>(all.size()) /
+                std::max(1e-9, row.wall_millis) * 1000.0;
+      panel.rows.push_back(row);
+    }
+    server.Stop();
+  }
+
+  // Overload: max_inflight = 1, four connections hammering. Shed replies
+  // are typed ResourceExhausted frames; anything else failing is a bug.
+  {
+    net::ServerOptions options;
+    options.max_inflight = 1;
+    net::Server server = bench::BenchUnwrap(net::Server::Start(db, options),
+                                            "start overload server");
+    const int kOverloadConns = 4;
+    std::vector<long long> sheds(kOverloadConns, 0);
+    std::atomic<bool> ok(true);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kOverloadConns);
+      for (int c = 0; c < kOverloadConns; ++c) {
+        threads.emplace_back([&, c] {
+          auto client = net::Client::Connect("127.0.0.1", server.port());
+          if (!client.ok()) {
+            ok.store(false);
+            return;
+          }
+          for (int r = 0; r < panel.requests_per_connection; ++r) {
+            const int q = r % panel.query_pool;
+            auto reply = client->Search(pool[q]);
+            if (reply.ok()) {
+              if (reply->ids != expected[q]) ok.store(false);
+            } else if (reply.status().code() ==
+                       StatusCode::kResourceExhausted) {
+              ++sheds[c];
+            } else {
+              ok.store(false);
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    if (!ok.load()) matches = false;
+    panel.overload_attempts =
+        static_cast<long long>(kOverloadConns) * panel.requests_per_connection;
+    for (long long shed : sheds) panel.overload_shed += shed;
+    panel.overload_shed_rate =
+        static_cast<double>(panel.overload_shed) /
+        std::max<long long>(1, panel.overload_attempts);
+    server.Stop();
+  }
+  panel.net_matches_inprocess = matches;
+
+  Table out("net panel: loopback TCP service vs in-process sessions "
+            "(hamming single-query searches, 1 thread per request)",
+            {"connections", "wall (ms)", "requests/s", "p50 (ms)",
+             "p99 (ms)", "identity"});
+  for (const NetRow& row : panel.rows) {
+    out.AddRow({Table::Int(row.connections), Table::Num(row.wall_millis, 1),
+                Table::Num(row.qps, 0), Table::Num(row.p50_millis, 3),
+                Table::Num(row.p99_millis, 3),
+                panel.net_matches_inprocess ? "ok" : "DIVERGED"});
+  }
+  out.Print();
+  std::printf("net overload (max_inflight = 1, 4 connections): "
+              "%lld of %lld requests shed (%.1f%%)\n\n",
+              panel.overload_shed, panel.overload_attempts,
+              panel.overload_shed_rate * 100.0);
+  return panel;
+}
+
 void WriteJson(const std::string& path,
                const std::vector<DomainResult>& results,
                const KernelPanel& kernel, const FacadePanel& facade,
                const ClientsPanel& clients,
                const std::vector<StorageRow>& storage,
-               const FastPathPanel& fastpath, const ChurnPanel& churn) {
+               const FastPathPanel& fastpath, const ChurnPanel& churn,
+               const NetPanel& net) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -976,6 +1173,26 @@ void WriteJson(const std::string& path,
                static_cast<long long>(churn.compacted_candidates),
                churn.delta_batch_millis, churn.compacted_batch_millis,
                churn.quiesce_matches_rebuild ? "true" : "false");
+  std::fprintf(f,
+               "  \"net_panel\": {\"requests_per_connection\": %d, "
+               "\"query_pool\": %d, \"rows\": [",
+               net.requests_per_connection, net.query_pool);
+  for (size_t i = 0; i < net.rows.size(); ++i) {
+    const NetRow& row = net.rows[i];
+    std::fprintf(f,
+                 "%s{\"connections\": %d, \"wall_millis\": %.3f, "
+                 "\"qps\": %.1f, \"p50_millis\": %.4f, \"p99_millis\": "
+                 "%.4f}",
+                 i == 0 ? "" : ", ", row.connections, row.wall_millis,
+                 row.qps, row.p50_millis, row.p99_millis);
+  }
+  std::fprintf(f,
+               "], \"overload\": {\"max_inflight\": 1, \"attempts\": %lld, "
+               "\"shed\": %lld, \"shed_rate\": %.4f}, "
+               "\"net_matches_inprocess\": %s},\n",
+               net.overload_attempts, net.overload_shed,
+               net.overload_shed_rate,
+               net.net_matches_inprocess ? "true" : "false");
   // Per-timing speedups are vs the sequential row of the same domain;
   // `oversubscribed` marks rows asking for more threads than the machine
   // has, where flat speedup is expected rather than a regression.
@@ -1025,9 +1242,10 @@ int main(int argc, char** argv) {
   const std::vector<StorageRow> storage = RunStoragePanel();
   const FastPathPanel fastpath = RunFastPathPanel();
   const ChurnPanel churn = RunChurnPanel();
+  const NetPanel net = RunNetPanel();
   if (!json_path.empty()) {
     WriteJson(json_path, results, kernel, facade, clients, storage,
-              fastpath, churn);
+              fastpath, churn, net);
   }
   // The self-check verdicts are written to the JSON above even on failure
   // so downstream tooling sees `false` rather than a missing file.
@@ -1040,6 +1258,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FATAL: quiesced churn database diverged from a cold "
                  "rebuild over its own records\n");
+    return 1;
+  }
+  if (!net.net_matches_inprocess) {
+    std::fprintf(stderr,
+                 "FATAL: TCP search replies diverged from in-process "
+                 "sessions\n");
     return 1;
   }
   return 0;

@@ -14,6 +14,7 @@
 #ifndef PIGEONRING_API_FUTURE_H_
 #define PIGEONRING_API_FUTURE_H_
 
+#include <chrono>
 #include <future>
 #include <utility>
 
@@ -46,6 +47,17 @@ class Future {
   /// No-op on an empty or already-consumed handle.
   void Wait() const {
     if (inner_.valid()) inner_.wait();
+  }
+
+  /// Timed wait: blocks for at most `timeout` and returns true iff Get()
+  /// will not block afterwards. An empty or already-consumed handle returns
+  /// true immediately — there is nothing left to wait for (Get() fails
+  /// fast) — so drain loops of the form `while (!f.WaitFor(step))` always
+  /// terminate.
+  template <typename Rep, typename Period>
+  bool WaitFor(const std::chrono::duration<Rep, Period>& timeout) const {
+    if (!inner_.valid()) return true;
+    return inner_.wait_for(timeout) == std::future_status::ready;
   }
 
   /// Blocks until the result is ready and moves it out. One-shot: valid()

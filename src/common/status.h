@@ -25,6 +25,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kDataLoss,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// A success-or-error result carrying a code and a human-readable message.
@@ -56,6 +58,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +92,10 @@ class Status {
         return "Internal";
       case StatusCode::kDataLoss:
         return "DataLoss";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

@@ -1,0 +1,136 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "storage/bytes.h"
+
+namespace pigeonring::net {
+
+namespace {
+
+using storage::ByteReader;
+using storage::ByteWriter;
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& host, int port) {
+  auto socket = ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return Client(std::move(socket).value());
+}
+
+StatusOr<std::vector<uint8_t>> Client::RoundTrip(
+    Op op, const std::vector<uint8_t>& payload) {
+  Status s = SendFrame(socket_, static_cast<uint8_t>(op), payload);
+  if (!s.ok()) return s;
+  FrameResult in = RecvFrame(socket_);
+  if (!in.status.ok()) return in.status;
+  if (in.frame.op == kErrorOp) {
+    ByteReader r(in.frame.payload.data(), in.frame.payload.size());
+    return DecodeErrorPayload(r);
+  }
+  if (in.frame.op != (static_cast<uint8_t>(op) | kReplyBit)) {
+    return Status::Internal("out-of-order reply: sent op " +
+                            std::to_string(static_cast<uint8_t>(op)) +
+                            ", got reply op " + std::to_string(in.frame.op));
+  }
+  return std::move(in.frame.payload);
+}
+
+Status Client::Ping() {
+  auto reply = RoundTrip(Op::kPing, {});
+  if (!reply.ok()) return reply.status();
+  if (!reply->empty()) return Status::Internal("malformed ping reply");
+  return Status::Ok();
+}
+
+StatusOr<SearchReply> Client::Search(const api::Query& query) {
+  ByteWriter w;
+  EncodeQuery(w, query);
+  auto payload = RoundTrip(Op::kSearch, w.data());
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  SearchReply reply;
+  if (!DecodeSearchReply(r, &reply) || !r.AtEnd()) {
+    return Status::Internal("malformed search reply");
+  }
+  return reply;
+}
+
+StatusOr<BatchReply> Client::SearchBatch(
+    const std::vector<api::Query>& queries) {
+  ByteWriter w;
+  EncodeQueries(w, queries);
+  auto payload = RoundTrip(Op::kBatch, w.data());
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  BatchReply reply;
+  if (!DecodeBatchReply(r, &reply) || !r.AtEnd()) {
+    return Status::Internal("malformed batch reply");
+  }
+  return reply;
+}
+
+StatusOr<JoinReply> Client::SelfJoin() {
+  auto payload = RoundTrip(Op::kSelfJoin, {});
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  JoinReply reply;
+  if (!DecodeJoinReply(r, &reply) || !r.AtEnd()) {
+    return Status::Internal("malformed join reply");
+  }
+  return reply;
+}
+
+StatusOr<int> Client::Insert(const api::Query& record) {
+  ByteWriter w;
+  EncodeQuery(w, record);
+  auto payload = RoundTrip(Op::kInsert, w.data());
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  const int32_t id = r.I32();
+  if (!r.ok() || !r.AtEnd()) return Status::Internal("malformed insert reply");
+  return static_cast<int>(id);
+}
+
+Status Client::Remove(int id) {
+  ByteWriter w;
+  w.I32(id);
+  auto payload = RoundTrip(Op::kRemove, w.data());
+  if (!payload.ok()) return payload.status();
+  if (!payload->empty()) return Status::Internal("malformed remove reply");
+  return Status::Ok();
+}
+
+Status Client::Compact() {
+  auto payload = RoundTrip(Op::kCompact, {});
+  if (!payload.ok()) return payload.status();
+  if (!payload->empty()) return Status::Internal("malformed compact reply");
+  return Status::Ok();
+}
+
+StatusOr<ServerStats> Client::Stats() {
+  auto payload = RoundTrip(Op::kStats, {});
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  ServerStats stats;
+  if (!DecodeServerStats(r, &stats) || !r.AtEnd()) {
+    return Status::Internal("malformed stats reply");
+  }
+  return stats;
+}
+
+StatusOr<api::Query> Client::RecordQuery(int id) {
+  ByteWriter w;
+  w.I32(id);
+  auto payload = RoundTrip(Op::kRecord, w.data());
+  if (!payload.ok()) return payload.status();
+  ByteReader r(payload->data(), payload->size());
+  api::Query query;
+  if (!DecodeQuery(r, &query) || !r.AtEnd()) {
+    return Status::Internal("malformed record reply");
+  }
+  return query;
+}
+
+}  // namespace pigeonring::net

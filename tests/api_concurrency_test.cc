@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -214,6 +215,36 @@ TEST(AsyncSubmissionTest, FuturesCarryTheSynchronousResults) {
   auto async_join = join_future.Get();
   ASSERT_TRUE(async_join.ok()) << async_join.status().ToString();
   EXPECT_EQ(async_join->pairs, sync_join->pairs);
+}
+
+TEST(AsyncSubmissionTest, WaitForReportsReadinessWithoutConsuming) {
+  const Db db = OpenHamming();
+  Session session = db.NewSession();
+  const std::vector<Query> queries = SampleQueries(db, 16);
+
+  auto future = session.SubmitBatch(queries);
+  ASSERT_TRUE(future.valid());
+  // Poll to readiness: every wait is bounded, and readiness must arrive.
+  while (!future.WaitFor(std::chrono::milliseconds(5))) {
+  }
+  // Ready means Get() will not block — and WaitFor did not consume it.
+  EXPECT_TRUE(future.valid());
+  EXPECT_TRUE(future.WaitFor(std::chrono::milliseconds(0)));
+  auto result = future.Get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Empty and consumed handles report true immediately (Get() fails fast
+  // on them), so drain loops of the form `while (!f.WaitFor(step))` always
+  // terminate — the server's shutdown path depends on this.
+  EXPECT_TRUE(future.WaitFor(std::chrono::milliseconds(0)));
+  EXPECT_TRUE(Future<BatchResult>().WaitFor(std::chrono::hours(1)));
+
+  // An invalid submission resolves up front, so it is ready at once.
+  RunOptions bad_options;
+  bad_options.chunk = 0;
+  auto invalid = session.SubmitBatch(queries, bad_options);
+  EXPECT_TRUE(invalid.WaitFor(std::chrono::milliseconds(0)));
+  EXPECT_EQ(invalid.Get().status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(AsyncSubmissionTest, FuturesHarvestOutOfSubmissionOrder) {

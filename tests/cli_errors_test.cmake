@@ -12,7 +12,7 @@
 # Invoked as:
 #   cmake -DPIGEONRING_CLI=<path> -DWORK_DIR=<dir> -P cli_errors_test.cmake
 
-foreach(var PIGEONRING_CLI WORK_DIR)
+foreach(var PIGEONRING_CLI PIGEONRING_LOADGEN WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "cli_errors_test.cmake requires -D${var}=...")
   endif()
@@ -174,5 +174,59 @@ expect_fail(1 "FailedPrecondition.*tau"  # spec must match, like search
 expect_fail(1 "InvalidArgument"  # wrong-domain records cannot be inserted
   insert hamming --index "${WORK_DIR}/vectors.pgri" --tau 8
   --data "${WORK_DIR}/var.ds")
+
+# --- serve ----------------------------------------------------------------
+# The network server command shares the CLI's exit-code contract: bad or
+# misplaced flags never start a listener (exit 2), and the library's typed
+# errors — unreadable dataset, unbindable host — exit 1.
+expect_fail(2 "unknown flag --queries"  # serve takes no query-run flags
+  serve hamming --data "${dataset}" --tau 8 --queries 5)
+expect_fail(2 "unknown flag --stats"
+  serve hamming --data "${dataset}" --tau 8 --stats kv)
+expect_fail(2 "exactly one of --data or --index"
+  serve hamming --tau 8)
+expect_fail(2 "--port expects a port"
+  serve hamming --data "${dataset}" --tau 8 --port 99999)
+expect_fail(2 "--max-inflight expects a count"
+  serve hamming --data "${dataset}" --tau 8 --max-inflight -2)
+expect_fail(2 "missing required flag --tau"
+  serve hamming --data "${dataset}")
+expect_fail(1 "NotFound"
+  serve hamming --data "${WORK_DIR}/missing.ds" --tau 8)
+expect_fail(1 "InvalidArgument"  # numeric IPv4 only; never resolves names
+  serve hamming --data "${dataset}" --tau 8 --host not-an-address)
+
+# --- loadgen --------------------------------------------------------------
+# expect_loadgen_fail(<expected_rc> <stderr_fragment> <args...>)
+function(expect_loadgen_fail expected_rc fragment)
+  execute_process(
+    COMMAND ${PIGEONRING_LOADGEN} ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR
+      "pigeonring_loadgen ${ARGN}: expected rc=${expected_rc}, got "
+      "rc=${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT err MATCHES "${fragment}")
+    message(FATAL_ERROR
+      "pigeonring_loadgen ${ARGN}: stderr does not match '${fragment}'\n"
+      "stderr:\n${err}")
+  endif()
+  message(STATUS "ok (rc=${rc}): pigeonring_loadgen ${ARGN}")
+endfunction()
+
+expect_loadgen_fail(2 "usage")
+expect_loadgen_fail(2 "missing required flag --port" --connections 2)
+expect_loadgen_fail(2 "unknown flag --frobnicate" --port 9 --frobnicate 1)
+expect_loadgen_fail(2 "--port expects a port in" --port 0)
+expect_loadgen_fail(2 "--requests expects an integer"
+  --port 9999 --requests 1e3)
+expect_loadgen_fail(2 "counts >= 1" --port 9999 --connections 0)
+# Nothing listens on port 1: a refused connection is the library's typed
+# kUnavailable, exit 1 — not a crash or a hang.
+expect_loadgen_fail(1 "Unavailable" --port 1 --requests 1)
 
 message(STATUS "all CLI error paths return their documented exit codes")

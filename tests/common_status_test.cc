@@ -33,6 +33,9 @@ TEST(StatusTest, CodeAndMessageRoundTrip) {
       {Status::FailedPrecondition("not open"),
        StatusCode::kFailedPrecondition},
       {Status::Internal("broken"), StatusCode::kInternal},
+      {Status::DataLoss("corrupt"), StatusCode::kDataLoss},
+      {Status::ResourceExhausted("shed"), StatusCode::kResourceExhausted},
+      {Status::Unavailable("gone"), StatusCode::kUnavailable},
   };
   for (const auto& [status, code] : cases) {
     EXPECT_FALSE(status.ok());
@@ -41,6 +44,8 @@ TEST(StatusTest, CodeAndMessageRoundTrip) {
   EXPECT_EQ(cases[0].first.message(), "bad arg");
   EXPECT_EQ(cases[0].first.ToString(), "InvalidArgument: bad arg");
   EXPECT_EQ(cases[2].first.ToString(), "NotFound: no file");
+  EXPECT_EQ(cases[6].first.ToString(), "ResourceExhausted: shed");
+  EXPECT_EQ(cases[7].first.ToString(), "Unavailable: gone");
 }
 
 TEST(StatusTest, ConstructedFromCode) {

@@ -12,6 +12,12 @@
 # `oversubscribed` is informational (threads > cores), not a self-check,
 # and is ignored.
 #
+# Engine-scaling dumps additionally have a *presence* requirement: the
+# net panel's `net_matches_inprocess` verdict must exist. A refactor
+# that silently drops the panel would otherwise pass the false-scan
+# (nothing false in a field that is not there) while the TCP-vs-Session
+# identity check quietly stops running.
+#
 # Usage: check_bench_parity.sh [file.json ...]
 
 set -u
@@ -37,8 +43,17 @@ for f in $files; do
     echo "check_bench_parity: $f reports a failed self-check:" >&2
     echo "$bad" | sed 's/^/  /' >&2
     status=1
-  else
-    echo "check_bench_parity: $f ok"
+    continue
   fi
+  case "$f" in
+    *engine_scaling*)
+      if ! grep -q '"net_matches_inprocess":' "$f"; then
+        echo "check_bench_parity: $f is missing the net panel verdict (net_matches_inprocess)" >&2
+        status=1
+        continue
+      fi
+      ;;
+  esac
+  echo "check_bench_parity: $f ok"
 done
 exit $status

@@ -1,0 +1,137 @@
+// Shared command-line plumbing for the pigeonring tools (pigeonring_cli,
+// pigeonring_loadgen): a minimal strict --key value flag parser plus the
+// Unwrap/Check helpers that map library Status errors onto the documented
+// exit codes.
+//
+// Exit-code contract (shared by every tool that includes this header):
+//   0  success
+//   1  the library reported a typed Status error
+//   2  usage error (unknown/misplaced flag, malformed numeric value,
+//      missing required flag)
+//
+// This is tool code: helpers print to stderr and call std::exit directly,
+// which is exactly what library code must never do — keep this header out
+// of src/.
+
+#ifndef PIGEONRING_TOOLS_FLAG_PARSER_H_
+#define PIGEONRING_TOOLS_FLAG_PARSER_H_
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pigeonring::tools {
+
+/// Minimal --key value flag parser, strict about its vocabulary: flags
+/// outside `allowed` are rejected up front (exit 2), so a typo'd or
+/// misplaced flag never silently no-ops.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first, std::set<std::string> allowed)
+      : allowed_(std::move(allowed)) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        std::fprintf(stderr, "bad flag syntax near '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (allowed_.find(key) == allowed_.end()) {
+        std::string known;
+        for (const std::string& k : allowed_) {
+          known += (known.empty() ? "--" : ", --") + k;
+        }
+        std::fprintf(stderr, "unknown flag --%s (allowed here: %s)\n",
+                     key.c_str(), known.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long long GetInt(const std::string& key, long long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : ParseInt(key, it->second);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : ParseDouble(key, it->second);
+  }
+  std::string Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+  double RequireDouble(const std::string& key) const {
+    return ParseDouble(key, Require(key));
+  }
+  long long RequireInt(const std::string& key) const {
+    return ParseInt(key, Require(key));
+  }
+
+ private:
+  // Numeric values parse strictly (the whole token, no atof-style silent
+  // zero for garbage): a typo'd value is a usage error, not a tau of 0.
+  static long long ParseInt(const std::string& key,
+                            const std::string& value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
+                   key.c_str(), value.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+  static double ParseDouble(const std::string& key,
+                            const std::string& value) {
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--%s expects a number, got '%s'\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  std::set<std::string> allowed_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Unwraps a StatusOr or maps its typed error to exit code 1.
+template <typename T>
+T Unwrap(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(value).value();
+}
+
+/// Exits 1 with the typed error if `status` is not OK.
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace pigeonring::tools
+
+#endif  // PIGEONRING_TOOLS_FLAG_PARSER_H_

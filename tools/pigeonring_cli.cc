@@ -27,6 +27,23 @@
 //   pigeonring_cli compact <hamming|sets|strings|graphs> --index INDEX
 //       --tau T [--out INDEX2]
 //       [--measure jaccard|overlap] [--kappa K] [--fast-path auto|on|off]
+//   pigeonring_cli serve  <hamming|sets|strings|graphs>
+//       (--data FILE | --index INDEX) --tau T [--chain L] [--port P]
+//       [--host H] [--max-inflight N] [--measure jaccard|overlap]
+//       [--kappa K] [--fast-path auto|on|off] [--alloc uniform|costmodel]
+//       [--threads N]
+//
+// `serve` opens the database like search/join and exposes it over TCP via
+// the net/ subsystem's length-prefixed binary protocol (net/protocol.h).
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// announced on stdout as `serving <kind> on <host>:<port> (...)` — a
+// stable, parseable line. --max-inflight caps concurrently executing
+// search/join/mutation ops; excess requests are shed with typed
+// ResourceExhausted error frames rather than queued. SIGINT/SIGTERM stop
+// the server gracefully: in-flight ops drain and deliver their replies
+// before the process exits and prints its admission counters.
+// pigeonring_loadgen (tools/pigeonring_loadgen.cc) is the matching
+// load-generating client.
 //
 // `build` indexes a raw dataset once and persists the built state in the
 // storage layer's container format (storage/index_file.h); `search` /
@@ -76,10 +93,11 @@
 // command, unknown or misplaced flags, malformed numeric values).
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -98,11 +116,17 @@
 #include "editdist/casedec.h"
 #include "io/dataset_io.h"
 #include "kernels/kernels.h"
+#include "net/server.h"
 #include "storage/index_file.h"
+
+#include "flag_parser.h"
 
 namespace {
 
 using namespace pigeonring;
+using tools::Check;
+using tools::Flags;
+using tools::Unwrap;
 
 void Usage() {
   std::fprintf(
@@ -142,107 +166,15 @@ void Usage() {
       "INDEX\n"
       "                        --tau T [--out INDEX2]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
-      "                        [--fast-path auto|on|off]\n");
+      "                        [--fast-path auto|on|off]\n"
+      "  pigeonring_cli serve  <hamming|sets|strings|graphs>\n"
+      "                        (--data FILE | --index INDEX)\n"
+      "                        --tau T [--chain L] [--port P] [--host H]\n"
+      "                        [--max-inflight N]\n"
+      "                        [--measure jaccard|overlap] [--kappa K]\n"
+      "                        [--fast-path auto|on|off]\n"
+      "                        [--alloc uniform|costmodel] [--threads N]\n");
   std::exit(2);
-}
-
-/// Minimal --key value flag parser, strict about its vocabulary: flags
-/// outside `allowed` are rejected up front (exit 2), so a typo'd or
-/// misplaced flag never silently no-ops.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first, std::set<std::string> allowed)
-      : allowed_(std::move(allowed)) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
-        std::fprintf(stderr, "bad flag syntax near '%s'\n", argv[i]);
-        std::exit(2);
-      }
-      key = key.substr(2);
-      if (allowed_.find(key) == allowed_.end()) {
-        std::string known;
-        for (const std::string& k : allowed_) {
-          known += (known.empty() ? "--" : ", --") + k;
-        }
-        std::fprintf(stderr, "unknown flag --%s (allowed here: %s)\n",
-                     key.c_str(), known.c_str());
-        std::exit(2);
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  std::string Get(const std::string& key, const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  long long GetInt(const std::string& key, long long fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : ParseInt(key, it->second);
-  }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : ParseDouble(key, it->second);
-  }
-  std::string Require(const std::string& key) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) {
-      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
-      std::exit(2);
-    }
-    return it->second;
-  }
-  double RequireDouble(const std::string& key) const {
-    return ParseDouble(key, Require(key));
-  }
-
- private:
-  // Numeric values parse strictly (the whole token, no atof-style silent
-  // zero for garbage): a typo'd value is a usage error, not a tau of 0.
-  static long long ParseInt(const std::string& key,
-                            const std::string& value) {
-    errno = 0;
-    char* end = nullptr;
-    const long long parsed = std::strtoll(value.c_str(), &end, 10);
-    if (value.empty() || *end != '\0' || errno == ERANGE) {
-      std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
-                   key.c_str(), value.c_str());
-      std::exit(2);
-    }
-    return parsed;
-  }
-  static double ParseDouble(const std::string& key,
-                            const std::string& value) {
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (value.empty() || *end != '\0' || errno == ERANGE) {
-      std::fprintf(stderr, "--%s expects a number, got '%s'\n", key.c_str(),
-                   value.c_str());
-      std::exit(2);
-    }
-    return parsed;
-  }
-
-  std::set<std::string> allowed_;
-  std::map<std::string, std::string> values_;
-};
-
-template <typename T>
-T Unwrap(StatusOr<T> value) {
-  if (!value.ok()) {
-    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
-    std::exit(1);
-  }
-  return std::move(value).value();
-}
-
-void Check(const Status& status) {
-  if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    std::exit(1);
-  }
 }
 
 /// The flag vocabulary of one command/domain combination.
@@ -272,6 +204,18 @@ std::set<std::string> AllowedFlags(const std::string& command,
     std::set<std::string> allowed = {"index", "tau", "out"};
     if (command == "insert") allowed.insert("data");
     if (command == "remove") allowed.insert("ids");
+    if (kind == "sets") allowed.insert("measure");
+    if (kind == "strings") {
+      allowed.insert("kappa");
+      allowed.insert("fast-path");
+    }
+    return allowed;
+  }
+  if (command == "serve") {
+    std::set<std::string> allowed = {"data", "index",        "tau",
+                                     "chain", "threads",     "port",
+                                     "host",  "max-inflight"};
+    if (kind == "hamming") allowed.insert("alloc");
     if (kind == "sets") allowed.insert("measure");
     if (kind == "strings") {
       allowed.insert("kappa");
@@ -770,6 +714,56 @@ int RunJoin(const std::string& kind, const Flags& flags) {
   return 0;
 }
 
+// Signal-driven shutdown for `serve`: the handlers only set a flag (the
+// async-signal-safe minimum); the main thread polls it and drives the
+// graceful Server::Stop() drain.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServe(const std::string& kind, const Flags& flags) {
+  const api::IndexSpec spec = SpecFromFlags(kind, flags, 2);
+  CheckFastPathUsable(spec, flags);
+  const api::Db db = OpenFromFlags(spec, flags);
+
+  net::ServerOptions options;
+  options.host = flags.Get("host", "127.0.0.1");
+  const long long port = flags.GetInt("port", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port expects a port in [0, 65535], got %lld\n",
+                 port);
+    std::exit(2);
+  }
+  options.port = static_cast<int>(port);
+  const long long max_inflight = flags.GetInt("max-inflight", 64);
+  if (max_inflight < 0) {
+    std::fprintf(stderr, "--max-inflight expects a count >= 0, got %lld\n",
+                 max_inflight);
+    std::exit(2);
+  }
+  options.max_inflight = static_cast<int>(max_inflight);
+
+  net::Server server = Unwrap(net::Server::Start(db, options));
+  // Scripts (and the smoke tests) parse this line to learn the ephemeral
+  // port — keep its shape stable.
+  std::printf("serving %s on %s:%d (%d records)\n", kind.c_str(),
+              options.host.c_str(), server.port(), db.num_records());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  const net::ServerStats stats = server.Snapshot();
+  std::printf("shutdown: accepted=%lld shed=%lld protocol_errors=%lld\n",
+              static_cast<long long>(stats.accepted),
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.protocol_errors));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -778,7 +772,7 @@ int main(int argc, char** argv) {
   const std::string kind = argv[2];
   if (command != "gen" && command != "build" && command != "search" &&
       command != "join" && command != "insert" && command != "remove" &&
-      command != "compact") {
+      command != "compact" && command != "serve") {
     Usage();
   }
   const Flags flags(argc, argv, 3, AllowedFlags(command, kind));
@@ -788,5 +782,6 @@ int main(int argc, char** argv) {
   if (command == "insert") return RunInsert(kind, flags);
   if (command == "remove") return RunRemove(kind, flags);
   if (command == "compact") return RunCompact(kind, flags);
+  if (command == "serve") return RunServe(kind, flags);
   return RunJoin(kind, flags);
 }
