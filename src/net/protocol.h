@@ -168,8 +168,16 @@ struct OpStats {
   double p99_micros = 0;
 };
 
+/// Per-shard placement row: committed record count plus the pending
+/// (unpublished-to-compaction) delta rows routed to that shard.
+struct ShardStats {
+  int32_t records = 0;
+  int32_t pending_delta = 0;
+};
+
 /// The stats op's reply: dataset shape plus the server's admission /
-/// error counters and per-op latency digests.
+/// error counters, per-op latency digests, and per-shard placement
+/// counters (a single row when the served index is unsharded).
 struct ServerStats {
   int32_t num_records = 0;
   uint64_t epoch = 0;
@@ -177,6 +185,7 @@ struct ServerStats {
   int64_t shed = 0;
   int64_t protocol_errors = 0;
   std::vector<OpStats> ops;
+  std::vector<ShardStats> shards;
 };
 
 void EncodeServerStats(storage::ByteWriter& w, const ServerStats& stats);

@@ -110,6 +110,10 @@ struct Server::Impl {
     stats.accepted = accepted.load();
     stats.shed = shed.load();
     stats.protocol_errors = protocol_errors.load();
+    for (const api::DbShardStat& shard : db.ShardStats()) {
+      stats.shards.push_back(
+          {.records = shard.records, .pending_delta = shard.pending_delta});
+    }
     std::lock_guard<std::mutex> lock(hist_mu);
     for (size_t op = 0; op < op_hist.size(); ++op) {
       if (op_hist[op].count() == 0) continue;

@@ -104,6 +104,8 @@ enum class SectionId : uint32_t {
   kGraphData = 64,        // vertex labels + edges per graph
   kGraphParts = 65,       // per-graph Pars partition (parts + half-edges)
   kGraphHistograms = 66,  // per-graph label histograms
+
+  kShardMap = 80,  // placement mode + shard count (shard::Partitioner)
 };
 
 /// Accumulates sections in memory and writes the whole container in one

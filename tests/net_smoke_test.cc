@@ -321,9 +321,73 @@ TEST(NetSmoke, StatsExposeCountersAndLatencyHistograms) {
   EXPECT_TRUE(saw_search);
   EXPECT_TRUE(saw_batch);
 
+  // An unsharded index reports a single placement row covering everything.
+  ASSERT_EQ(stats->shards.size(), 1u);
+  EXPECT_EQ(stats->shards[0].records, db.num_records());
+  EXPECT_EQ(stats->shards[0].pending_delta, 0);
+
   // The in-process snapshot agrees with the wire view.
   ServerStats snapshot = server->Snapshot();
   EXPECT_EQ(snapshot.accepted, stats->accepted);
+}
+
+// A sharded served index exposes one placement row per shard: rows sum to
+// the committed record count, served inserts surface as pending delta on
+// the round-robin owner shard, and compaction folds them back in.
+TEST(NetSmoke, StatsExposePerShardPlacement) {
+  datagen::BinaryVectorConfig config;
+  config.dimensions = 64;
+  config.num_objects = 202;
+  config.num_clusters = 12;
+  config.seed = 3309;
+  api::IndexSpec spec;
+  spec.domain = api::Domain::kHamming;
+  spec.tau = 8;
+  spec.chain_length = 3;
+  spec.shards = 4;
+  api::Db db =
+      OpenOrDie(spec, api::Dataset(datagen::GenerateBinaryVectors(config)));
+
+  auto server = Server::Start(db);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Client client = ConnectOrDie(server->port());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->shards.size(), 4u);
+  int total = 0;
+  for (const ShardStats& shard : stats->shards) {
+    total += shard.records;
+    EXPECT_EQ(shard.pending_delta, 0);
+  }
+  EXPECT_EQ(total, db.num_records());
+
+  // Two served inserts: ids 202 and 203 land as pending delta on their
+  // round-robin owner shards (202 % 4 = 2, 203 % 4 = 3).
+  api::Session sampler = db.NewSession();
+  for (const api::Query& record : SampleQueries(sampler, 2)) {
+    ASSERT_TRUE(client.Insert(record).ok());
+  }
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->shards.size(), 4u);
+  EXPECT_EQ(stats->shards[0].pending_delta, 0);
+  EXPECT_EQ(stats->shards[1].pending_delta, 0);
+  EXPECT_EQ(stats->shards[2].pending_delta, 1);
+  EXPECT_EQ(stats->shards[3].pending_delta, 1);
+
+  // Compaction folds the delta in; rows re-sum to the new total with no
+  // pending rows left.
+  ASSERT_TRUE(client.Compact().ok());
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->shards.size(), 4u);
+  total = 0;
+  for (const ShardStats& shard : stats->shards) {
+    total += shard.records;
+    EXPECT_EQ(shard.pending_delta, 0);
+  }
+  EXPECT_EQ(total, 204);
 }
 
 TEST(NetSmoke, OverloadShedsWithTypedResourceExhausted) {

@@ -7,17 +7,17 @@
 //       [--n N] [--seed S] [--dim D] [--bias B] [--avg A] [--fixed L]
 //   pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE
 //       --out INDEX --tau T [--measure jaccard|overlap] [--kappa K]
-//       [--fast-path auto|on|off]
+//       [--fast-path auto|on|off] [--shards S]
 //   pigeonring_cli search <hamming|sets|strings|graphs>
 //       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--queries N] [--measure jaccard|overlap]
 //       [--kappa K] [--fast-path auto|on|off] [--alloc uniform|costmodel]
-//       [--threads N] [--clients N] [--stats kv]
+//       [--threads N] [--clients N] [--shards S] [--stats kv]
 //   pigeonring_cli join <hamming|sets|strings|graphs>
 //       (--data FILE | --index INDEX)
 //       --tau T [--chain L] [--measure jaccard|overlap] [--kappa K]
 //       [--fast-path auto|on|off] [--alloc uniform|costmodel] [--threads N]
-//       [--clients N] [--stats kv] [--print N]
+//       [--clients N] [--shards S] [--stats kv] [--print N]
 //   pigeonring_cli insert <hamming|sets|strings|graphs> --index INDEX
 //       --data FILE --tau T [--out INDEX2]
 //       [--measure jaccard|overlap] [--kappa K] [--fast-path auto|on|off]
@@ -31,7 +31,14 @@
 //       (--data FILE | --index INDEX) --tau T [--chain L] [--port P]
 //       [--host H] [--max-inflight N] [--measure jaccard|overlap]
 //       [--kappa K] [--fast-path auto|on|off] [--alloc uniform|costmodel]
-//       [--threads N]
+//       [--threads N] [--shards S]
+//
+// --shards S (build/search/join/serve) partitions the collection into S
+// round-robin shards executed scatter-gather (src/shard/): results stay
+// byte-identical to --shards 1 at any S. `build --shards` persists the
+// placement in the index file; opening such an index re-adopts it unless
+// an explicit --shards overrides. S is a serving-time knob, not part of
+// the index fingerprint, so it never conflicts like --tau does.
 //
 // `serve` opens the database like search/join and exposes it over TCP via
 // the net/ subsystem's length-prefixed binary protocol (net/protocol.h).
@@ -138,22 +145,23 @@ void Usage() {
       "  pigeonring_cli build  <hamming|sets|strings|graphs> --data FILE\n"
       "                        --out INDEX --tau T\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
-      "                        [--fast-path auto|on|off]\n"
+      "                        [--fast-path auto|on|off] [--shards S]\n"
       "  pigeonring_cli search <hamming|sets|strings|graphs>\n"
       "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L] [--queries N] [--seed S]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--fast-path auto|on|off]\n"
       "                        [--alloc uniform|costmodel]\n"
-      "                        [--threads N] [--clients N] [--stats kv]\n"
+      "                        [--threads N] [--clients N] [--shards S]\n"
+      "                        [--stats kv]\n"
       "  pigeonring_cli join   <hamming|sets|strings|graphs>\n"
       "                        (--data FILE | --index INDEX)\n"
       "                        --tau T [--chain L]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--fast-path auto|on|off]\n"
       "                        [--alloc uniform|costmodel]\n"
-      "                        [--threads N] [--clients N] [--stats kv]\n"
-      "                        [--print N]\n"
+      "                        [--threads N] [--clients N] [--shards S]\n"
+      "                        [--stats kv] [--print N]\n"
       "  pigeonring_cli insert <hamming|sets|strings|graphs> --index INDEX\n"
       "                        --data FILE --tau T [--out INDEX2]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
@@ -173,7 +181,8 @@ void Usage() {
       "                        [--max-inflight N]\n"
       "                        [--measure jaccard|overlap] [--kappa K]\n"
       "                        [--fast-path auto|on|off]\n"
-      "                        [--alloc uniform|costmodel] [--threads N]\n");
+      "                        [--alloc uniform|costmodel] [--threads N]\n"
+      "                        [--shards S]\n");
   std::exit(2);
 }
 
@@ -192,7 +201,7 @@ std::set<std::string> AllowedFlags(const std::string& command,
     return allowed;
   }
   if (command == "build") {
-    std::set<std::string> allowed = {"data", "out", "tau"};
+    std::set<std::string> allowed = {"data", "out", "tau", "shards"};
     if (kind == "sets") allowed.insert("measure");
     if (kind == "strings") {
       allowed.insert("kappa");
@@ -212,9 +221,9 @@ std::set<std::string> AllowedFlags(const std::string& command,
     return allowed;
   }
   if (command == "serve") {
-    std::set<std::string> allowed = {"data", "index",        "tau",
-                                     "chain", "threads",     "port",
-                                     "host",  "max-inflight"};
+    std::set<std::string> allowed = {"data",   "index",        "tau",
+                                     "chain",  "threads",      "port",
+                                     "host",   "max-inflight", "shards"};
     if (kind == "hamming") allowed.insert("alloc");
     if (kind == "sets") allowed.insert("measure");
     if (kind == "strings") {
@@ -223,8 +232,9 @@ std::set<std::string> AllowedFlags(const std::string& command,
     }
     return allowed;
   }
-  std::set<std::string> allowed = {"data",    "index",   "tau",   "chain",
-                                   "seed",    "threads", "clients", "stats"};
+  std::set<std::string> allowed = {"data",    "index",   "tau",     "chain",
+                                   "seed",    "threads", "clients", "stats",
+                                   "shards"};
   if (command == "search") allowed.insert("queries");
   if (command == "join") allowed.insert("print");
   if (kind == "hamming") allowed.insert("alloc");
@@ -345,6 +355,7 @@ int RunBuild(const std::string& kind, const Flags& flags) {
   spec.domain = domain.value();
   spec.tau = flags.RequireDouble("tau");
   spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  spec.shards = static_cast<int>(flags.GetInt("shards", 1));
   if (spec.domain == api::Domain::kEdit) {
     spec.edit_fast_path = FastPathFromFlags(flags);
   }
@@ -517,6 +528,7 @@ api::IndexSpec SpecFromFlags(const std::string& kind, const Flags& flags,
       static_cast<int>(flags.GetInt("chain", default_chain));
   spec.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   spec.kappa = static_cast<int>(flags.GetInt("kappa", 2));
+  spec.shards = static_cast<int>(flags.GetInt("shards", 1));
   if (spec.domain == api::Domain::kEdit) {
     spec.edit_fast_path = FastPathFromFlags(flags);
   }
